@@ -1,0 +1,43 @@
+//! The overclocking-enhanced VM auto-scaler of paper Section VI-D
+//! (architecture in Figure 14).
+//!
+//! The auto-scaler (ASC) watches the server VMs behind a load balancer
+//! and makes two kinds of decision:
+//!
+//! * **scale-out / scale-in** — add or remove a VM, one at a time,
+//!   based on average CPU utilization over the last 3 minutes
+//!   (thresholds 50 % / 20 %). Scaling out takes 60 seconds, emulating
+//!   real VM-creation latency.
+//! * **scale-up / scale-down** — raise or lower the VMs' clock
+//!   frequency, based on the last 30 seconds of utilization plus the
+//!   Aperf/Pperf counters and Equation 1 (thresholds 40 % / 20 %),
+//!   evaluated every 3 seconds across 8 frequency bins between B2
+//!   (3.4 GHz) and OC1 (4.1 GHz).
+//!
+//! Three policies reproduce the paper's comparison (Table XI):
+//! [`Policy::Baseline`] never changes frequency; [`Policy::OcE`]
+//! overclocks to the top bin while a scale-out is in flight (hiding
+//! VM-creation latency); [`Policy::OcA`] scales up *before* scaling
+//! out, postponing or avoiding VM creations entirely ("scale up and
+//! then out").
+//!
+//! # Example
+//!
+//! ```
+//! use ic_autoscale::runner::{Runner, RunnerConfig, ramp_schedule};
+//! use ic_autoscale::policy::Policy;
+//!
+//! // A short smoke run of the baseline policy.
+//! let mut cfg = RunnerConfig::paper();
+//! cfg.schedule = ramp_schedule(500.0, 1000.0, 500.0, 60.0);
+//! let result = Runner::new(cfg, Policy::Baseline, 42).run();
+//! assert!(result.completed > 0);
+//! ```
+
+pub mod asc;
+pub mod policy;
+pub mod runner;
+
+pub use asc::AutoScaler;
+pub use policy::{AscConfig, Policy};
+pub use runner::{RunResult, Runner, RunnerConfig};

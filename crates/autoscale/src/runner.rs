@@ -1,0 +1,337 @@
+//! Experiment harness: drives the client-server application and the
+//! auto-scaler through the paper's load schedules and collects the
+//! Figure 15/16 series and Table XI metrics.
+
+use crate::asc::AutoScaler;
+use crate::policy::{AscConfig, Policy};
+use ic_power::units::{Frequency, Voltage};
+use ic_power::vf::VfCurve;
+use ic_sim::series::TimeSeries;
+use ic_sim::stats::{Tally, TimeWeighted};
+use ic_sim::time::{SimDuration, SimTime};
+use ic_workloads::mgk::ClientServerSim;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant client load schedule: `(start_s, qps)` steps in
+/// ascending time order.
+pub type Schedule = Vec<(f64, f64)>;
+
+/// The paper's full-experiment ramp: 500 → `max` QPS in steps of `step`
+/// every `dwell_s` seconds.
+pub fn ramp_schedule(start: f64, max: f64, step: f64, dwell_s: f64) -> Schedule {
+    let mut schedule = Vec::new();
+    let mut qps = start;
+    let mut t = 0.0;
+    while qps <= max + 1e-9 {
+        schedule.push((t, qps));
+        t += dwell_s;
+        qps += step;
+    }
+    schedule
+}
+
+/// The Figure 15 validation schedule: 1000, 2000, 500, 3000, 1000 QPS,
+/// five minutes each.
+pub fn validation_schedule() -> Schedule {
+    [1000.0, 2000.0, 500.0, 3000.0, 1000.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &qps)| (i as f64 * 300.0, qps))
+        .collect()
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// The auto-scaler configuration.
+    pub asc: AscConfig,
+    /// Mean per-request core demand at B2, seconds.
+    pub service_mean_s: f64,
+    /// Service-time squared coefficient of variation.
+    pub service_scv: f64,
+    /// Virtual cores per server VM.
+    pub vcores_per_vm: u32,
+    /// Counter stall fraction of the workload.
+    pub stall_fraction: f64,
+    /// Server VMs running at t = 0.
+    pub initial_vms: usize,
+    /// The client load schedule.
+    pub schedule: Schedule,
+    /// Extra time after the last step before the run ends, seconds.
+    pub tail_s: f64,
+}
+
+impl RunnerConfig {
+    /// The paper's Table XI experiment: Client-Server app (2.8 ms mean
+    /// core demand, heavy-tailed), 4 vcores per VM, one initial VM,
+    /// 500 → 4000 QPS ramp with 5-minute steps.
+    pub fn paper() -> Self {
+        RunnerConfig {
+            asc: AscConfig::paper(),
+            service_mean_s: 0.0028,
+            service_scv: 2.0,
+            vcores_per_vm: 4,
+            stall_fraction: 0.10,
+            initial_vms: 1,
+            schedule: ramp_schedule(500.0, 4000.0, 500.0, 300.0),
+            tail_s: 0.0,
+        }
+    }
+
+    /// The Figure 15 model-validation experiment: three VMs, scale-up/
+    /// down only (the runner disables scale-out/in by setting
+    /// `max_vms = min_vms = 3`).
+    pub fn validation() -> Self {
+        let mut asc = AscConfig::paper();
+        asc.min_vms = 3;
+        asc.max_vms = 3;
+        RunnerConfig {
+            asc,
+            initial_vms: 3,
+            schedule: validation_schedule(),
+            tail_s: 0.0,
+            ..RunnerConfig::paper()
+        }
+    }
+
+    /// Total run duration implied by the schedule.
+    pub fn duration_s(&self) -> f64 {
+        let last = self.schedule.last().map(|&(t, _)| t).unwrap_or(0.0);
+        let dwell = if self.schedule.len() >= 2 {
+            self.schedule[1].0 - self.schedule[0].0
+        } else {
+            300.0
+        };
+        last + dwell + self.tail_s
+    }
+}
+
+/// The collected outcome of one run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResult {
+    /// The policy that produced this result.
+    pub policy: &'static str,
+    /// P95 request latency over the whole run, seconds.
+    pub p95_latency_s: f64,
+    /// Mean request latency, seconds.
+    pub avg_latency_s: f64,
+    /// Peak concurrent VM count.
+    pub max_vms: usize,
+    /// Integrated VM×hours consumed.
+    pub vm_hours: f64,
+    /// Time-average power of the server VMs, watts.
+    pub avg_power_w: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Fleet-average utilization over time (Figure 16 series).
+    pub utilization: TimeSeries,
+    /// Frequency as a percentage of the B2→OC1 range (Figure 15 series).
+    pub frequency_pct: TimeSeries,
+    /// Active VM count over time.
+    pub vm_count: TimeSeries,
+}
+
+/// Drives one (policy, seed) experiment.
+pub struct Runner {
+    config: RunnerConfig,
+    policy: Policy,
+    seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(config: RunnerConfig, policy: Policy, seed: u64) -> Self {
+        Runner {
+            config,
+            policy,
+            seed,
+        }
+    }
+
+    /// Runs the experiment to completion.
+    pub fn run(self) -> RunResult {
+        let cfg = &self.config;
+        let mut sim = ClientServerSim::new(
+            self.seed,
+            cfg.service_mean_s,
+            cfg.service_scv,
+            cfg.vcores_per_vm,
+            cfg.stall_fraction,
+        );
+        for _ in 0..cfg.initial_vms {
+            sim.add_vm();
+        }
+        let mut asc = AutoScaler::new(cfg.asc.clone(), self.policy);
+
+        let vf = VfCurve::xeon_w3175x();
+        let base_f = Frequency::from_ghz(3.4);
+        let v0 = Voltage::from_volts(0.90);
+
+        let mut latencies = Tally::new();
+        let mut util_series = TimeSeries::new("util_pct");
+        let mut freq_series = TimeSeries::new("freq_pct_of_range");
+        let mut vm_series = TimeSeries::new("vms");
+        let mut power = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut vm_integral = TimeWeighted::new(SimTime::ZERO, cfg.initial_vms as f64);
+        let mut max_vms = cfg.initial_vms;
+
+        let period = SimDuration::from_secs_f64(cfg.asc.decision_period_s);
+        let end = SimTime::from_secs_f64(self.config.duration_s());
+        let mut next_step = 0usize;
+        let mut t = SimTime::ZERO;
+        let max_ratio = cfg.asc.max_ratio();
+
+        while t < end {
+            // Apply any schedule steps due at or before t.
+            while next_step < cfg.schedule.len()
+                && SimTime::from_secs_f64(cfg.schedule[next_step].0) <= t
+            {
+                sim.set_qps(cfg.schedule[next_step].1);
+                next_step += 1;
+            }
+            t = (t + period).min(end);
+            sim.advance_to(t);
+            let trace = asc.step(&mut sim);
+
+            for (_, lat) in sim.take_completions() {
+                latencies.record(lat);
+            }
+            util_series.push(t, trace.instant_util * 100.0);
+            let pct = if max_ratio > 1.0 {
+                (trace.freq_ratio - 1.0) / (max_ratio - 1.0) * 100.0
+            } else {
+                0.0
+            };
+            freq_series.push(t, pct);
+            vm_series.push(t, trace.active_vms as f64);
+            max_vms = max_vms.max(trace.active_vms);
+            vm_integral.set(t, trace.active_vms as f64);
+
+            // Host power: every server VM runs on the single tank-#1
+            // Xeon (as in the paper), so report the host's draw. The
+            // components mirror `ic_workloads::perfmodel::ServerPowerModel`:
+            // platform rest + uncore (scales f·V² when overclocked) +
+            // memory + busy cores at full dynamic power + idle cores in
+            // shallow sleep (still clocked).
+            let f = Frequency::from_mhz((base_f.mhz() as f64 * trace.freq_ratio).round() as u32);
+            let v = vf.voltage_for(f).max(v0);
+            let fv2 = f.ratio_to(base_f) * v.squared_ratio_to(v0);
+            let busy_cores = (trace.instant_util
+                * cfg.vcores_per_vm as f64
+                * trace.active_vms as f64)
+                .min(28.0);
+            let idle_cores = 28.0 - busy_cores;
+            let host_w = 45.0 + 15.0 * fv2 + 30.0 + 2.5 * busy_cores * fv2
+                + 0.8 * idle_cores * fv2;
+            power.set(t, host_w);
+        }
+
+        let vm_hours = vm_integral.average(end) * end.as_secs_f64() / 3600.0;
+        RunResult {
+            policy: self.policy.label(),
+            p95_latency_s: latencies.percentile(0.95),
+            avg_latency_s: latencies.mean(),
+            max_vms,
+            vm_hours,
+            avg_power_w: power.average(end),
+            completed: sim.completed_requests(),
+            utilization: util_series,
+            frequency_pct: freq_series,
+            vm_count: vm_series,
+        }
+    }
+}
+
+/// Runs all three Table XI policies on the same seed and returns
+/// `(baseline, oc_e, oc_a)`.
+pub fn table11_runs(config: RunnerConfig, seed: u64) -> (RunResult, RunResult, RunResult) {
+    (
+        Runner::new(config.clone(), Policy::Baseline, seed).run(),
+        Runner::new(config.clone(), Policy::OcE, seed).run(),
+        Runner::new(config, Policy::OcA, seed).run(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> RunnerConfig {
+        let mut cfg = RunnerConfig::paper();
+        // Paper dwell (the control loop needs its detection + creation
+        // + cooldown time per step) but a shorter ramp for test speed.
+        cfg.schedule = ramp_schedule(500.0, 2000.0, 500.0, 300.0);
+        cfg
+    }
+
+    #[test]
+    fn ramp_schedule_shape() {
+        let s = ramp_schedule(500.0, 4000.0, 500.0, 300.0);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], (0.0, 500.0));
+        assert_eq!(s[7], (2100.0, 4000.0));
+    }
+
+    #[test]
+    fn validation_schedule_matches_paper() {
+        let s = validation_schedule();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[3], (900.0, 3000.0));
+    }
+
+    #[test]
+    fn run_produces_complete_series() {
+        let r = Runner::new(quick_config(), Policy::Baseline, 1).run();
+        assert!(r.completed > 100_000 / 2);
+        assert!(!r.utilization.is_empty());
+        assert_eq!(r.utilization.len(), r.frequency_pct.len());
+        // Both metrics are populated. (The mean can exceed P95 when a
+        // few saturation episodes dominate — heavy-tailed data.)
+        assert!(r.p95_latency_s > 0.0 && r.avg_latency_s > 0.0);
+        assert!(r.max_vms >= 2);
+        assert!(r.vm_hours > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let a = Runner::new(quick_config(), Policy::OcA, 9).run();
+        let b = Runner::new(quick_config(), Policy::OcA, 9).run();
+        assert_eq!(a.p95_latency_s, b.p95_latency_s);
+        assert_eq!(a.vm_hours, b.vm_hours);
+    }
+
+    #[test]
+    fn overclocking_policies_beat_baseline_tail() {
+        let (base, oce, oca) = table11_runs(quick_config(), 7);
+        assert!(
+            oce.p95_latency_s < base.p95_latency_s,
+            "OC-E {} vs baseline {}",
+            oce.p95_latency_s,
+            base.p95_latency_s
+        );
+        assert!(
+            oca.p95_latency_s < base.p95_latency_s,
+            "OC-A {} vs baseline {}",
+            oca.p95_latency_s,
+            base.p95_latency_s
+        );
+    }
+
+    #[test]
+    fn oca_consumes_no_more_vm_hours() {
+        let (base, _oce, oca) = table11_runs(quick_config(), 11);
+        assert!(oca.vm_hours <= base.vm_hours + 1e-9);
+    }
+
+    #[test]
+    fn baseline_frequency_flat_at_zero_pct() {
+        let r = Runner::new(quick_config(), Policy::Baseline, 3).run();
+        assert_eq!(r.frequency_pct.max(), Some(0.0));
+    }
+
+    #[test]
+    fn oca_uses_the_frequency_range() {
+        let r = Runner::new(quick_config(), Policy::OcA, 3).run();
+        assert!(r.frequency_pct.max().unwrap() > 50.0);
+    }
+}

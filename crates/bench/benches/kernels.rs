@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks for the hot paths of the workspace: the
+//! discrete-event engine, the M/G/k simulation, the auto-scaler control
+//! step, VM placement, and the analytic models the governor evaluates on
+//! every decision.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ic_cluster::cluster::Cluster;
+use ic_cluster::placement::{Oversubscription, PlacementPolicy};
+use ic_cluster::server::ServerSpec;
+use ic_cluster::vm::VmSpec;
+use ic_core::governor::{GovernorConfig, OverclockGovernor};
+use ic_power::cpu::CpuSku;
+use ic_power::units::Frequency;
+use ic_reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
+use ic_reliability::stability::StabilityModel;
+use ic_sim::engine::Engine;
+use ic_sim::time::{SimDuration, SimTime};
+use ic_thermal::fluid::DielectricFluid;
+use ic_thermal::junction::ThermalInterface;
+use ic_workloads::mgk::ClientServerSim;
+use ic_workloads::queueing::MgkQueue;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter_batched(
+            || {
+                let mut engine: Engine<u64> = Engine::new();
+                for i in 0..100_000u64 {
+                    engine.schedule(SimTime::from_nanos(i * 13 % 1_000_000), |s, _| *s += 1);
+                }
+                engine
+            },
+            |mut engine| {
+                let mut count = 0u64;
+                engine.run(&mut count);
+                count
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mgk_sim(c: &mut Criterion) {
+    c.bench_function("mgk_sim_10s_at_2000qps", |b| {
+        b.iter(|| {
+            let mut sim = ClientServerSim::new(1, 0.0028, 2.0, 4, 0.1);
+            for _ in 0..4 {
+                sim.add_vm();
+            }
+            sim.set_qps(2000.0);
+            sim.advance_to(SimTime::from_secs(10));
+            sim.completed_requests()
+        })
+    });
+}
+
+fn bench_autoscaler_step(c: &mut Criterion) {
+    use ic_autoscale::asc::AutoScaler;
+    use ic_autoscale::policy::{AscConfig, Policy};
+    c.bench_function("autoscaler_control_step", |b| {
+        let mut sim = ClientServerSim::new(2, 0.0028, 2.0, 4, 0.1);
+        for _ in 0..3 {
+            sim.add_vm();
+        }
+        sim.set_qps(1500.0);
+        let mut asc = AutoScaler::new(AscConfig::paper(), Policy::OcA);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimDuration::from_secs(3);
+            sim.advance_to(t);
+            asc.step(&mut sim)
+        })
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    c.bench_function("best_fit_place_200_vms", |b| {
+        b.iter_batched(
+            || {
+                Cluster::new(
+                    vec![ServerSpec::open_compute(); 50],
+                    PlacementPolicy::BestFit,
+                    Oversubscription::ratio(1.2),
+                )
+            },
+            |mut cluster| {
+                for _ in 0..200 {
+                    let _ = cluster.create_vm(VmSpec::new(4, 16.0));
+                }
+                cluster.vm_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_governor(c: &mut Criterion) {
+    let governor = OverclockGovernor::new(
+        CpuSku::skylake_8180(),
+        ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+        CompositeLifetimeModel::fitted_5nm(),
+        StabilityModel::paper_characterization(),
+        GovernorConfig::default(),
+    );
+    c.bench_function("governor_decide", |b| {
+        b.iter(|| governor.decide(Frequency::from_ghz(3.3), 305.0))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let model = CompositeLifetimeModel::fitted_5nm();
+    let cond = OperatingConditions::new(0.98, 74.0, 50.0);
+    c.bench_function("lifetime_eval", |b| b.iter(|| model.lifetime_years(&cond)));
+    c.bench_function("mgk_p95_quantile", |b| {
+        b.iter(|| MgkQueue::new(16, 1230.0, 0.01, 1.5).sojourn_quantile(0.95))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_engine,
+    bench_mgk_sim,
+    bench_autoscaler_step,
+    bench_placement,
+    bench_governor,
+    bench_models
+);
+criterion_main!(benches);

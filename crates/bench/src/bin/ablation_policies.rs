@@ -1,0 +1,4 @@
+//! Ablation study; see the function docs in ic_bench::experiments::ablations.
+fn main() {
+    print!("{}", ic_bench::experiments::ablations::ablation_policies());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10 (STREAM).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig10());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11 (GPU VGG).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig11());
+}

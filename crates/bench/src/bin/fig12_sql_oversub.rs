@@ -1,0 +1,4 @@
+//! Regenerates Figure 12 (SQL oversubscription).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig12());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 13 / Table X (mixed oversubscription).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig13());
+}

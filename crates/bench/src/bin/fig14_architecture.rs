@@ -1,0 +1,4 @@
+//! Renders the Figure 14 ASC architecture and control cadences.
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig14());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4 (operating domains).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig4());
+}

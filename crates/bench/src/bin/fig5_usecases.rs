@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (use-case bands).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 6 (buffers).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (capacity crisis).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig7());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9 (cloud workloads).
+fn main() {
+    print!("{}", ic_bench::experiments::figures::fig9());
+}

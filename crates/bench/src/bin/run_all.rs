@@ -1,0 +1,6 @@
+//! Runs every table and figure experiment in paper order; pass --quick
+//! to shorten the simulation-backed ones.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ic_bench::experiments::run_all(quick));
+}

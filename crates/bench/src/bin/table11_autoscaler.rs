@@ -1,0 +1,5 @@
+//! Regenerates Table XI; pass --quick for a shortened ramp.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ic_bench::experiments::tables::table11(quick));
+}

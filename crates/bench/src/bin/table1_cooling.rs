@@ -1,0 +1,4 @@
+//! Regenerates Table I (cooling technologies).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table II (dielectric fluids).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table III (max turbo air vs 2PIC).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table IV (failure modes).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table4());
+}

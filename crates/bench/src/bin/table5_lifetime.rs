@@ -1,0 +1,4 @@
+//! Regenerates Table V (lifetime projections).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table5());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table VI (TCO).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table VII (CPU configs).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table7());
+}

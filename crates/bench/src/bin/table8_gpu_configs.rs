@@ -1,0 +1,4 @@
+//! Regenerates Table VIII (GPU configs).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table8());
+}

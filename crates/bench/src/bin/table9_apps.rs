@@ -1,0 +1,4 @@
+//! Regenerates Table IX (applications).
+fn main() {
+    print!("{}", ic_bench::experiments::tables::table9());
+}

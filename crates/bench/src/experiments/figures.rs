@@ -1,0 +1,526 @@
+//! Figure regeneration (Figures 4–13, 15, 16).
+
+use crate::{cell, table};
+use ic_autoscale::policy::Policy;
+use ic_autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
+use ic_core::domains::OperatingDomains;
+use ic_core::usecases::buffer::{static_buffer_servers, virtual_buffer_servers};
+use ic_core::usecases::capacity::{CapacitySnapshot, CapacityTimeline};
+use ic_core::usecases::highperf::VmPerformanceClass;
+use ic_core::usecases::packing::plan_packing;
+use ic_sim::series::merge_csv;
+use ic_workloads::configs::CpuConfig;
+use ic_workloads::gpu::figure11_sweep;
+use ic_workloads::mix::figure13_sweep;
+use ic_workloads::perfmodel::{figure9_sweep, time_ratio};
+use ic_workloads::queueing::MgkQueue;
+use ic_workloads::stream::figure10_sweep;
+
+/// Figure 4: operating domains (guaranteed / turbo / overclocking /
+/// non-operating) for the air-cooled and immersed platforms.
+pub fn fig4() -> String {
+    let mut rows = Vec::new();
+    for (label, d) in [
+        ("Air-cooled", OperatingDomains::skylake_air()),
+        ("2PIC HFE-7000", OperatingDomains::skylake_2pic_hfe()),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            format!("{}-{}", d.minimum(), d.base()),
+            format!("{}-{}", d.base(), d.turbo()),
+            if d.green_top() > d.turbo() {
+                format!("{}-{}", d.turbo(), d.green_top())
+            } else {
+                "-".to_string()
+            },
+            if d.ceiling() > d.green_top() {
+                format!("{}-{}", d.green_top(), d.ceiling())
+            } else {
+                "-".to_string()
+            },
+            format!("> {}", d.ceiling()),
+        ]);
+    }
+    let mut out = table(
+        "Figure 4: operating domains",
+        &["Platform", "Guaranteed", "Turbo", "OC green", "OC red", "Non-operating"],
+        &rows,
+    );
+    // The opportunistic-turbo staircase behind the figure: max per-core
+    // frequency vs active cores, air vs 2PIC, derived from the socket
+    // power model.
+    use ic_power::cpu::CpuSku;
+    use ic_power::turbo::TurboTable;
+    use ic_power::units::Frequency;
+    use ic_thermal::fluid::DielectricFluid;
+    use ic_thermal::junction::ThermalInterface;
+    let sku = CpuSku::skylake_8180();
+    let cap = Frequency::from_ghz(3.8);
+    let air = TurboTable::derive(
+        &sku,
+        &ThermalInterface::air(35.0, 12.1, 0.21),
+        sku.tdp_w(),
+        cap,
+    );
+    let tank = TurboTable::derive(
+        &sku,
+        &ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6),
+        sku.tdp_w(),
+        cap,
+    );
+    out.push_str("\nTurbo staircase (max GHz vs active cores):\nactive  air   2PIC\n");
+    for n in [1u32, 4, 8, 12, 16, 20, 24, 28] {
+        out.push_str(&format!(
+            "{n:>6}  {:.1}   {:.1}\n",
+            air.frequency_for(n).ghz(),
+            tank.frequency_for(n).ghz()
+        ));
+    }
+    out
+}
+
+/// Figure 5: what immersion's extra bands buy — high-performance VM
+/// entitlements and oversubscribed packing.
+pub fn fig5() -> String {
+    let domains = OperatingDomains::skylake_2pic_hfe();
+    let mut rows = Vec::new();
+    for class in [
+        VmPerformanceClass::Regular,
+        VmPerformanceClass::Turbo,
+        VmPerformanceClass::HighPerformance,
+    ] {
+        rows.push(vec![
+            format!("{class:?}"),
+            format!("{}", class.entitled_frequency(&domains)),
+            cell(class.price_multiplier(&domains), 2),
+        ]);
+    }
+    let mut out = table(
+        "Figure 5: high-performance VM classes (immersion bands)",
+        &["VM class", "Entitled frequency", "Price multiplier"],
+        &rows,
+    );
+    let plan = plan_packing(domains.turbo(), domains.green_top(), 1.20)
+        .expect("within green headroom");
+    out.push_str(&format!(
+        "Dense packing: +{} vcores per 100 pcores, compensated at {}\n",
+        plan.extra_vcores_per_100_pcores, plan.compensating_frequency
+    ));
+    out
+}
+
+/// Figure 6: buffers with and without overclocking.
+pub fn fig6() -> String {
+    let mut rows = Vec::new();
+    for (fleet, failures) in [(10u32, 1u32), (24, 2), (48, 4), (100, 8)] {
+        rows.push(vec![
+            format!("{fleet} servers, {failures} failures"),
+            format!("{}", static_buffer_servers(failures)),
+            format!("{}", virtual_buffer_servers(fleet, failures, 1.22)),
+        ]);
+    }
+    table(
+        "Figure 6: static vs virtual (overclock-backed) buffers",
+        &["Fleet / tolerated failures", "Static spares", "Virtual spares"],
+        &rows,
+    )
+}
+
+/// Figure 7: capacity-crisis gap bridging.
+pub fn fig7() -> String {
+    let timeline = CapacityTimeline::new(vec![
+        CapacitySnapshot { demand_vcores: 80_000.0, supply_vcores: 100_000.0 },
+        CapacitySnapshot { demand_vcores: 105_000.0, supply_vcores: 100_000.0 },
+        CapacitySnapshot { demand_vcores: 118_000.0, supply_vcores: 100_000.0 },
+        CapacitySnapshot { demand_vcores: 126_000.0, supply_vcores: 150_000.0 },
+    ]);
+    let rows: Vec<Vec<String>> = timeline
+        .periods()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            vec![
+                format!("Q{}", i + 1),
+                cell(p.demand_vcores, 0),
+                cell(p.supply_vcores, 0),
+                cell(p.gap_vcores(), 0),
+                cell(p.residual_gap(1.22, 1.15), 0),
+            ]
+        })
+        .collect();
+    let mut out = table(
+        "Figure 7: capacity crisis (vcores)",
+        &["Quarter", "Demand", "Supply", "Gap w/o OC", "Gap with OC"],
+        &rows,
+    );
+    let (without, with) = timeline.denied_vcore_periods(1.22, 1.15);
+    out.push_str(&format!(
+        "Denied vcore-quarters: {without:.0} without overclocking, {with:.0} with\n"
+    ));
+    out
+}
+
+/// Figure 8: the scale-up-then-out timeline — OC-E hides the scale-out
+/// latency, OC-A postpones the scale-out.
+pub fn fig8(quick: bool) -> String {
+    let mut config = RunnerConfig::paper();
+    config.schedule = vec![(0.0, 500.0), (300.0, if quick { 900.0 } else { 1000.0 })];
+    config.tail_s = 300.0;
+    let mut out = String::from("== Figure 8: hiding vs avoiding the scale-out ==\n");
+    for policy in [Policy::Baseline, Policy::OcE, Policy::OcA] {
+        let r = Runner::new(config.clone(), policy, 42).run();
+        let f_peak = r.frequency_pct.max().unwrap_or(0.0);
+        let final_vms = r.vm_count.points().last().map(|&(_, v)| v).unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:9}: peak frequency {:>5.1}% of range, final VMs {:.0}, P95 {:>6.2} ms\n",
+            r.policy,
+            f_peak,
+            final_vms,
+            r.p95_latency_s * 1e3
+        ));
+    }
+    out
+}
+
+/// Figure 9: per-application normalized metric and power, B2 vs OC1–3.
+pub fn fig9() -> String {
+    let sweep = figure9_sweep();
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .filter(|p| p.config != "B2")
+        .map(|p| {
+            vec![
+                p.app.to_string(),
+                p.config.to_string(),
+                cell(p.normalized_metric, 3),
+                format!("{:+.1}%", p.improvement_pct),
+                format!("{:.0} W", p.avg_power_w),
+                format!("{:.0} W", p.p99_power_w),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 9: cloud workloads under overclocking (vs B2)",
+        &["App", "Config", "Norm metric", "Improvement", "Avg power", "P99 power"],
+        &rows,
+    )
+}
+
+/// Figure 10: STREAM sustainable bandwidth and power across configs.
+pub fn fig10() -> String {
+    let sweep = figure10_sweep();
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                p.config.to_string(),
+                p.kernel.to_string(),
+                format!("{:.0} MB/s", p.bandwidth_mbps),
+                format!("{:.0} W", p.avg_power_w),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 10: STREAM bandwidth",
+        &["Config", "Kernel", "Bandwidth", "Avg power"],
+        &rows,
+    )
+}
+
+/// Figure 11: VGG training time and power under GPU overclocking.
+pub fn fig11() -> String {
+    let sweep = figure11_sweep();
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.to_string(),
+                p.config.to_string(),
+                cell(p.normalized_time, 3),
+                format!("{:.0} W", p.p99_power_w),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 11: VGG training under GPU overclocking",
+        &["Model", "Config", "Norm time", "P99 power"],
+        &rows,
+    )
+}
+
+/// Figure 12: average P95 latency of 4 SQL VMs versus assigned pcores,
+/// B2 vs OC3. The paper's crossover: OC3 with 12 pcores matches B2 with
+/// 16 (within 1 %), freeing 4 pcores.
+pub fn fig12() -> String {
+    // 4 SQL VMs × 4 vcores; the aggregate load is solved so that the
+    // paper's observation holds at the operating point: OC3 with 12
+    // pcores matches B2 with 16. (The paper ran one fixed load and
+    // reported the crossover; we recover that load by bisection on the
+    // analytic M/G/k model.)
+    let service_b2 = 0.010; // 10 ms per query-core at B2
+    let scv = 1.5;
+    let sql_oc3 = time_ratio(
+        &ic_workloads::apps::AppProfile::sql(),
+        &CpuConfig::oc3(),
+        &CpuConfig::b2(),
+    );
+    let ratio_at = |lambda: f64| {
+        let b2 = MgkQueue::new(16, lambda, service_b2, scv).sojourn_quantile(0.95);
+        let oc3 = MgkQueue::new(12, lambda, service_b2 * sql_oc3, scv).sojourn_quantile(0.95);
+        oc3 / b2 - 1.0
+    };
+    let (mut lo, mut hi) = (400.0, 1440.0);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if ratio_at(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = (lo + hi) / 2.0;
+    let power = ic_workloads::perfmodel::ServerPowerModel::tank1();
+
+    let mut rows = Vec::new();
+    for pcores in [8u32, 10, 12, 14, 16] {
+        let p95 = |service: f64| -> Option<f64> {
+            if lambda * service >= pcores as f64 {
+                return None; // unstable: latency unbounded
+            }
+            Some(MgkQueue::new(pcores, lambda, service, scv).sojourn_quantile(0.95) * 1e3)
+        };
+        let b2 = p95(service_b2);
+        let oc3 = p95(service_b2 * sql_oc3);
+        rows.push(vec![
+            format!("{pcores}"),
+            b2.map_or("unstable".into(), |v| format!("{v:.2} ms")),
+            oc3.map_or("unstable".into(), |v| format!("{v:.2} ms")),
+            format!("{:.0} W", power.avg_power_w(&CpuConfig::b2(), pcores.min(28))),
+            format!("{:.0} W", power.avg_power_w(&CpuConfig::oc3(), pcores.min(28))),
+        ]);
+    }
+    let mut out = table(
+        "Figure 12: SQL P95 vs pcores (4 VMs, 16 vcores)",
+        &["pcores", "B2 P95", "OC3 P95", "B2 power", "OC3 power"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "At {lambda:.0} QPS: OC3@12 pcores vs B2@16 pcores: {:+.1}% (paper: within 1%) -> 4 pcores freed\n",
+        ratio_at(lambda) * 100.0
+    ));
+    out
+}
+
+/// Figure 13 (and Table X): mixed batch + latency-sensitive
+/// oversubscription scenarios.
+pub fn fig13() -> String {
+    let rows: Vec<Vec<String>> = figure13_sweep()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                format!("{}x {}", r.count, r.app),
+                r.config.to_string(),
+                format!("{:+.1}%", r.improvement_pct),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 13 / Table X: oversubscription (20 vcores on 16 pcores, vs 20-pcore B2)",
+        &["Scenario", "Workload", "Config", "Improvement"],
+        &rows,
+    )
+}
+
+/// Figure 14: the auto-scaler architecture, rendered as the component
+/// inventory of this implementation (paths into the workspace), plus
+/// the control cadences of the running configuration.
+pub fn fig14() -> String {
+    use ic_autoscale::policy::AscConfig;
+    let cfg = AscConfig::paper();
+    let mut out = String::from(
+        "== Figure 14: auto-scaling (ASC) architecture ==\n\
+         clients --> load balancer --> server VMs (M/G/k, ic-workloads::mgk)\n\
+         server VMs --> telemetry: Aperf/Pperf/Util (ic-telemetry::counters)\n\
+         telemetry --> ASC decision loop (ic-autoscale::asc)\n\
+         ASC --> scale-out/in: add/remove VM (60 s creation latency)\n\
+         ASC --> scale-up/down: per-core frequency via Equation 1 (ic-telemetry::eq1)\n\n",
+    );
+    out.push_str(&format!(
+        "Cadences: decisions every {:.0} s; scale-out/in on a {:.0}-s window \
+         (thresholds {:.0}%/{:.0}%); scale-up/down on a {:.0}-s window \
+         (thresholds {:.0}%/{:.0}%); {} frequency bins from {:.2}x to {:.2}x.\n",
+        cfg.decision_period_s,
+        cfg.out_window_s,
+        cfg.scale_out_threshold * 100.0,
+        cfg.scale_in_threshold * 100.0,
+        cfg.up_window_s,
+        cfg.scale_up_threshold * 100.0,
+        cfg.scale_down_threshold * 100.0,
+        cfg.freq_ratios.len(),
+        cfg.base_ratio(),
+        cfg.max_ratio(),
+    ));
+    out
+}
+
+/// Figure 15: Equation 1 validation — utilization and frequency over
+/// the 1000/2000/500/3000/1000 QPS schedule with scale-up/down only.
+pub fn fig15(quick: bool) -> String {
+    let mut config = RunnerConfig::validation();
+    if quick {
+        // Halve the dwell to 2.5 minutes.
+        config.schedule = config
+            .schedule
+            .iter()
+            .map(|&(t, q)| (t / 2.0, q))
+            .collect();
+    }
+    let r = Runner::new(config, Policy::OcA, 42).run();
+    let mut out = String::from("== Figure 15: model validation (3 VMs, scale-up/down only) ==\n");
+    out.push_str("time_s,util_pct,freq_pct_of_range\n");
+    let step = ic_sim::SimDuration::from_secs(if quick { 30 } else { 60 });
+    let end = *r
+        .utilization
+        .points()
+        .last()
+        .map(|(t, _)| t)
+        .expect("series non-empty");
+    for (t, util) in r.utilization.resample(step, end) {
+        let freq = r.frequency_pct.value_at(t).unwrap_or(0.0);
+        out.push_str(&format!("{:.0},{:.1},{:.1}\n", t.as_secs_f64(), util, freq));
+    }
+    out
+}
+
+/// Figure 16: fleet utilization over time for baseline / OC-E / OC-A on
+/// the full ramp.
+pub fn fig16(quick: bool) -> String {
+    let mut config = RunnerConfig::paper();
+    if quick {
+        config.schedule = ramp_schedule(500.0, 2500.0, 500.0, 300.0);
+    }
+    let mut series = Vec::new();
+    let mut summary = String::new();
+    for policy in [Policy::Baseline, Policy::OcE, Policy::OcA] {
+        let r = Runner::new(config.clone(), policy, 42).run();
+        let mut s = ic_sim::series::TimeSeries::new(match policy {
+            Policy::Baseline => "baseline_util",
+            Policy::OcE => "oce_util",
+            Policy::OcA => "oca_util",
+            Policy::Predictive => "predictive_util",
+        });
+        let end = *r
+            .utilization
+            .points()
+            .last()
+            .map(|(t, _)| t)
+            .expect("series non-empty");
+        for (t, v) in r
+            .utilization
+            .resample(ic_sim::SimDuration::from_secs(60), end)
+        {
+            s.push(t, v);
+        }
+        summary.push_str(&format!(
+            "{:9}: peak util {:>5.1}%, max VMs {}\n",
+            r.policy,
+            r.utilization.max().unwrap_or(0.0),
+            r.max_vms
+        ));
+        series.push(s);
+    }
+    let refs: Vec<&ic_sim::series::TimeSeries> = series.iter().collect();
+    format!(
+        "== Figure 16: utilization under the three policies ==\n{}{}",
+        summary,
+        merge_csv(&refs)
+    )
+}
+
+/// The Figure 15 validation invariant, exposed for tests: at every
+/// frequency *increase* inside a constant-load phase, utilization must
+/// not rise afterwards.
+pub fn fig15_validates(quick: bool) -> bool {
+    let mut config = RunnerConfig::validation();
+    if quick {
+        config.schedule = config.schedule.iter().map(|&(t, q)| (t / 2.0, q)).collect();
+    }
+    let r = Runner::new(config, Policy::OcA, 42).run();
+    let pts = r.frequency_pct.points();
+    for pair in pts.windows(2) {
+        let ((t0, f0), (t1, f1)) = (pair[0], pair[1]);
+        if f1 > f0 + 10.0 {
+            let before = r.utilization.value_at(t0);
+            let after = r
+                .utilization
+                .value_at(t1 + ic_sim::SimDuration::from_secs(45));
+            if let (Some(b), Some(a)) = (before, after) {
+                // Allow noise, but a frequency boost must not push
+                // utilization up during steady load.
+                if a > b + 8.0 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_figures_render() {
+        for f in [fig4(), fig5(), fig6(), fig7(), fig9(), fig10(), fig11(), fig12(), fig13()] {
+            assert!(f.contains("Figure"), "{f}");
+            assert!(f.lines().count() >= 4);
+        }
+    }
+
+    #[test]
+    fn fig12_crossover_within_tolerance() {
+        let out = fig12();
+        assert!(out.contains("4 pcores freed"));
+        // Parse the reported delta and require the paper's ~1% band.
+        let line = out.lines().find(|l| l.contains("OC3@12")).unwrap();
+        let pct: f64 = line
+            .split('%')
+            .next()
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .trim_start_matches('+')
+            .parse()
+            .unwrap();
+        assert!(pct.abs() < 2.0, "crossover delta {pct}%");
+    }
+
+    #[test]
+    fn fig12_latency_decreases_with_pcores() {
+        let out = fig12();
+        let mut last = f64::INFINITY;
+        for line in out.lines().skip(2) {
+            let mut tokens = line.split_whitespace();
+            // Only data rows: first token is the pcore count.
+            let Some(Ok(_pcores)) = tokens.next().map(|t| t.parse::<u32>()) else {
+                continue;
+            };
+            if let Some(Ok(v)) = tokens.next().map(|t| t.parse::<f64>()) {
+                assert!(v <= last, "{out}");
+                last = v;
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_has_all_scenarios() {
+        let out = fig13();
+        for s in ["Scenario 1", "Scenario 2", "Scenario 3"] {
+            assert!(out.contains(s));
+        }
+        assert!(out.contains("2x TeraSort"));
+    }
+}

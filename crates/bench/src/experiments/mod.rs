@@ -1,0 +1,59 @@
+//! All experiment implementations, one module per table/figure.
+
+pub mod ablations;
+pub mod figures;
+pub mod tables;
+
+/// Runs every experiment in paper order and returns the combined report.
+/// `quick` shortens the simulation-backed experiments (Table XI,
+/// Figures 15/16) for fast runs; the full versions match the paper's
+/// schedules exactly.
+pub fn run_all(quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&tables::table1());
+    out.push('\n');
+    out.push_str(&tables::table2());
+    out.push('\n');
+    out.push_str(&tables::table3());
+    out.push('\n');
+    out.push_str(&tables::table4());
+    out.push('\n');
+    out.push_str(&tables::table5());
+    out.push('\n');
+    out.push_str(&tables::table6());
+    out.push('\n');
+    out.push_str(&tables::table7());
+    out.push('\n');
+    out.push_str(&tables::table8());
+    out.push('\n');
+    out.push_str(&tables::table9());
+    out.push('\n');
+    out.push_str(&figures::fig4());
+    out.push('\n');
+    out.push_str(&figures::fig5());
+    out.push('\n');
+    out.push_str(&figures::fig6());
+    out.push('\n');
+    out.push_str(&figures::fig7());
+    out.push('\n');
+    out.push_str(&figures::fig9());
+    out.push('\n');
+    out.push_str(&figures::fig10());
+    out.push('\n');
+    out.push_str(&figures::fig11());
+    out.push('\n');
+    out.push_str(&figures::fig12());
+    out.push('\n');
+    out.push_str(&figures::fig13());
+    out.push('\n');
+    out.push_str(&figures::fig8(quick));
+    out.push('\n');
+    out.push_str(&figures::fig14());
+    out.push('\n');
+    out.push_str(&figures::fig15(quick));
+    out.push('\n');
+    out.push_str(&figures::fig16(quick));
+    out.push('\n');
+    out.push_str(&tables::table11(quick));
+    out
+}

@@ -1,0 +1,310 @@
+//! Table regeneration (Tables I–IX and XI).
+
+use crate::{cell, table};
+use ic_autoscale::runner::{ramp_schedule, table11_runs, RunnerConfig};
+use ic_power::cpu::CpuSku;
+use ic_reliability::lifetime::{table5_rows, CompositeLifetimeModel};
+use ic_reliability::mechanisms::{
+    Electromigration, FailureMechanism, GateOxideBreakdown, ThermalCycling,
+};
+use ic_tco::TcoModel;
+use ic_thermal::fluid::DielectricFluid;
+use ic_thermal::junction::table3_platforms;
+use ic_thermal::technology::CoolingTechnology;
+use ic_workloads::apps::{AppProfile, Origin};
+use ic_workloads::configs::CpuConfig;
+use ic_workloads::gpu::GpuConfig;
+
+/// Table I: comparison of the main datacenter cooling technologies.
+pub fn table1() -> String {
+    let rows: Vec<Vec<String>> = CoolingTechnology::catalog()
+        .into_iter()
+        .map(|t| {
+            vec![
+                t.name().to_string(),
+                cell(t.avg_pue(), 2),
+                cell(t.peak_pue(), 2),
+                format!("{:.0}%", t.fan_overhead() * 100.0),
+                if t.max_server_cooling_w() >= 4000.0 {
+                    ">4 kW".to_string()
+                } else if t.max_server_cooling_w() >= 1000.0 {
+                    format!("{:.0} kW", t.max_server_cooling_w() / 1000.0)
+                } else {
+                    format!("{:.0} W", t.max_server_cooling_w())
+                },
+            ]
+        })
+        .collect();
+    table(
+        "Table I: cooling technologies",
+        &["Technology", "Avg PUE", "Peak PUE", "Fan overhead", "Max cooling"],
+        &rows,
+    )
+}
+
+/// Table II: dielectric fluid properties.
+pub fn table2() -> String {
+    let fluids = [DielectricFluid::fc3284(), DielectricFluid::hfe7000()];
+    let rows: Vec<Vec<String>> = fluids
+        .iter()
+        .map(|f| {
+            vec![
+                f.name().to_string(),
+                format!("{:.0} °C", f.boiling_point_c()),
+                cell(f.dielectric_constant(), 2),
+                format!("{:.0} J/g", f.latent_heat_j_per_g()),
+                format!(">{:.0} years", f.useful_life_years()),
+            ]
+        })
+        .collect();
+    table(
+        "Table II: dielectric fluids",
+        &["Fluid", "Boiling point", "Dielectric const", "Latent heat", "Useful life"],
+        &rows,
+    )
+}
+
+/// Table III: maximum attained frequency and power, air vs FC-3284.
+pub fn table3() -> String {
+    let skus = [CpuSku::skylake_8168(), CpuSku::skylake_8180()];
+    let platforms = table3_platforms();
+    let mut rows = Vec::new();
+    for (i, sku) in skus.iter().enumerate() {
+        for j in 0..2 {
+            let (label, iface, _power, observed_tj) = &platforms[i * 2 + j];
+            let turbo = sku.max_turbo(iface, sku.tdp_w());
+            let ss = sku.steady_state(iface, turbo, sku.nominal_voltage());
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.0} °C (paper {observed_tj:.0})", ss.tj_c),
+                format!("{:.1} W", ss.power_w),
+                format!("{turbo}"),
+                format!("{:.2} °C/W", iface.resistance_c_per_w()),
+            ]);
+        }
+    }
+    table(
+        "Table III: max turbo, air vs 2PIC",
+        &["Platform", "Tj max", "Power", "Max turbo", "R_th"],
+        &rows,
+    )
+}
+
+/// Table IV: failure-mode parameter dependencies.
+pub fn table4() -> String {
+    let mechanisms: Vec<Box<dyn FailureMechanism>> = vec![
+        Box::new(GateOxideBreakdown::fitted()),
+        Box::new(Electromigration::fitted()),
+        Box::new(ThermalCycling::fitted()),
+    ];
+    let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = mechanisms
+        .iter()
+        .map(|m| {
+            vec![
+                m.name().to_string(),
+                mark(m.depends_on_temperature()),
+                mark(m.depends_on_delta_t()),
+                mark(m.depends_on_voltage()),
+            ]
+        })
+        .collect();
+    table(
+        "Table IV: failure-mode dependencies",
+        &["Failure mode", "T", "dT", "V"],
+        &rows,
+    )
+}
+
+/// Table V: projected lifetimes at the six (cooling, OC) points.
+pub fn table5() -> String {
+    let model = CompositeLifetimeModel::fitted_5nm();
+    let rows: Vec<Vec<String>> = table5_rows()
+        .into_iter()
+        .map(|row| {
+            let years = model.lifetime_years(&row.conditions);
+            let paper = match (row.paper_years, row.overclocked) {
+                (y, _) if y >= 10.0 && !row.overclocked => "> 10 years".to_string(),
+                (y, true) if row.cooling == "Air cooling" => {
+                    let _ = y;
+                    "< 1 year".to_string()
+                }
+                (y, _) => format!("{y:.0} years"),
+            };
+            vec![
+                row.cooling.to_string(),
+                if row.overclocked { "yes" } else { "no" }.to_string(),
+                format!("{:.2} V", row.conditions.voltage_v()),
+                format!("{:.0} °C", row.conditions.tj_max_c()),
+                format!(
+                    "{:.0}-{:.0} °C",
+                    row.conditions.tj_min_c(),
+                    row.conditions.tj_max_c()
+                ),
+                format!("{years:.1} years"),
+                paper,
+            ]
+        })
+        .collect();
+    table(
+        "Table V: projected lifetime",
+        &["Cooling", "OC", "Voltage", "Tj max", "DTj", "Model", "Paper"],
+        &rows,
+    )
+}
+
+/// Table VI: TCO deltas relative to the air-cooled baseline.
+pub fn table6() -> String {
+    format!("== Table VI: TCO analysis ==\n{}", TcoModel::paper().render_table6())
+}
+
+/// Table VII: experimental CPU frequency configurations.
+pub fn table7() -> String {
+    let rows: Vec<Vec<String>> = CpuConfig::catalog()
+        .into_iter()
+        .map(|c| {
+            vec![
+                c.name().to_string(),
+                format!("{:.1}", c.core().ghz()),
+                format!("{}", c.voltage_offset_mv()),
+                if c.turbo() { "yes" } else { "no" }.to_string(),
+                format!("{:.1}", c.llc().ghz()),
+                format!("{:.1}", c.memory().ghz()),
+            ]
+        })
+        .collect();
+    table(
+        "Table VII: CPU frequency configurations",
+        &["Config", "Core GHz", "V offset mV", "Turbo", "LLC GHz", "Mem GHz"],
+        &rows,
+    )
+}
+
+/// Table VIII: GPU configurations.
+pub fn table8() -> String {
+    let rows: Vec<Vec<String>> = GpuConfig::catalog()
+        .into_iter()
+        .map(|c| {
+            vec![
+                c.name().to_string(),
+                format!("{:.0}", c.power_limit_w()),
+                format!("{:.2}", c.base_clock().ghz()),
+                format!("{:.3}", c.turbo_clock().ghz()),
+                format!("{:.1}", c.memory().ghz()),
+                format!("{}", c.voltage_offset_mv()),
+            ]
+        })
+        .collect();
+    table(
+        "Table VIII: GPU configurations",
+        &["Config", "Power W", "Base GHz", "Turbo GHz", "Mem GHz", "V offset mV"],
+        &rows,
+    )
+}
+
+/// Table IX: applications and their metric of interest.
+pub fn table9() -> String {
+    let rows: Vec<Vec<String>> = AppProfile::catalog()
+        .into_iter()
+        .map(|a| {
+            vec![
+                a.name().to_string(),
+                format!("{}", a.cores()),
+                format!(
+                    "{} ({})",
+                    a.description(),
+                    match a.origin() {
+                        Origin::InHouse => "I",
+                        Origin::Public => "P",
+                    }
+                ),
+                a.metric().to_string(),
+            ]
+        })
+        .collect();
+    table(
+        "Table IX: applications",
+        &["Application", "#Cores", "Description", "Metric"],
+        &rows,
+    )
+}
+
+/// Table XI: the full auto-scaler experiment. `quick` shortens the ramp
+/// (500→2500 QPS) for fast runs; the full version is the paper's
+/// 500→4000 ramp with 5-minute steps.
+pub fn table11(quick: bool) -> String {
+    let mut config = RunnerConfig::paper();
+    if quick {
+        config.schedule = ramp_schedule(500.0, 2500.0, 500.0, 300.0);
+    }
+    let (base, oce, oca) = table11_runs(config, 42);
+    let rows: Vec<Vec<String>> = [&base, &oce, &oca]
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.policy.to_string(),
+                cell(r.p95_latency_s / base.p95_latency_s, 2),
+                cell(r.avg_latency_s / base.avg_latency_s, 2),
+                format!("{}", r.max_vms),
+                cell(r.vm_hours, 2),
+                format!("{:+.0}%", (r.avg_power_w / base.avg_power_w - 1.0) * 100.0),
+            ]
+        })
+        .collect();
+    let mut out = table(
+        if quick {
+            "Table XI: auto-scaler comparison (quick ramp to 2500 QPS)"
+        } else {
+            "Table XI: auto-scaler comparison (full 500-4000 QPS ramp)"
+        },
+        &["Config", "Norm P95 Lat", "Norm Avg Lat", "Max VMs", "VMxHours", "Avg power"],
+        &rows,
+    );
+    out.push_str(
+        "(paper: P95 1.00/0.58/0.46, Max VMs 6/6/5, VMxHours 2.20/2.17/1.95, power +0/+7/+27%)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_tables_render() {
+        for t in [
+            table1(),
+            table2(),
+            table3(),
+            table4(),
+            table5(),
+            table6(),
+            table7(),
+            table8(),
+            table9(),
+        ] {
+            assert!(t.contains("=="), "{t}");
+            assert!(t.lines().count() >= 4);
+        }
+    }
+
+    #[test]
+    fn table3_shows_extra_bin() {
+        let t = table3();
+        assert!(t.contains("3.1 GHz") && t.contains("3.2 GHz"));
+        assert!(t.contains("2.6 GHz") && t.contains("2.7 GHz"));
+    }
+
+    #[test]
+    fn table5_matches_paper_column() {
+        let t = table5();
+        assert!(t.contains("> 10 years"));
+        assert!(t.contains("< 1 year"));
+    }
+
+    #[test]
+    fn table6_bottom_lines() {
+        let t = table6();
+        assert!(t.contains("-7%") && t.contains("-4%"));
+    }
+}

@@ -1,0 +1,98 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! Each experiment lives in [`experiments`] as a function returning the
+//! rendered rows/series; the `src/bin/*` binaries are thin wrappers, and
+//! `run-all` executes everything in paper order (writing the combined
+//! report that `EXPERIMENTS.md` is checked against).
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `table1_cooling` | Table I — cooling-technology comparison |
+//! | `table2_fluids` | Table II — dielectric fluid properties |
+//! | `table3_turbo` | Table III — max turbo, air vs 2PIC |
+//! | `table4_failure_modes` | Table IV — failure-mode dependencies |
+//! | `table5_lifetime` | Table V — lifetime projections |
+//! | `table6_tco` | Table VI — TCO deltas |
+//! | `table7_cpu_configs` | Table VII — CPU frequency configurations |
+//! | `table8_gpu_configs` | Table VIII — GPU configurations |
+//! | `table9_apps` | Table IX — application suite |
+//! | `table11_autoscaler` | Table XI — full auto-scaler comparison |
+//! | `fig4_domains` | Figure 4 — operating domains |
+//! | `fig5_usecases` | Figure 5 — frequency bands and packing |
+//! | `fig6_buffers` | Figure 6 — static vs virtual buffers |
+//! | `fig7_capacity` | Figure 7 — capacity-crisis bridging |
+//! | `fig8_scaleup` | Figure 8 — scale-up-then-out timelines |
+//! | `fig9_cloud_workloads` | Figure 9 — per-app overclocking response |
+//! | `fig10_stream` | Figure 10 — STREAM bandwidth |
+//! | `fig11_gpu` | Figure 11 — VGG training under GPU overclocking |
+//! | `fig12_sql_oversub` | Figure 12 — SQL P95 vs pcores |
+//! | `fig13_mixed_oversub` | Figure 13 / Table X — mixed oversubscription |
+//! | `fig14_architecture` | Figure 14 — ASC components and cadences |
+//! | `fig15_validation` | Figure 15 — Equation 1 validation trace |
+//! | `fig16_utilization` | Figure 16 — policy utilization traces |
+
+pub mod experiments;
+
+/// Formats a floating value with a fixed width for table output.
+pub fn cell(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Renders a header followed by aligned rows.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("== {title} ==\n");
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "demo",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer".into(), "2.50".into()],
+            ],
+        );
+        assert!(out.contains("== demo =="));
+        assert!(out.contains("longer"));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(1.2345, 2), "1.23");
+        assert_eq!(cell(10.0, 0), "10");
+    }
+}

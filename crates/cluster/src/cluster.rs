@@ -1,0 +1,376 @@
+//! The cluster inventory: VM lifecycle, failure handling, and density
+//! accounting.
+
+use crate::placement::{Oversubscription, PlacementPolicy};
+use crate::server::{Server, ServerSpec};
+use crate::vm::{VmId, VmInstance, VmSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a cluster operation failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterError {
+    /// No server has room for the requested VM.
+    InsufficientCapacity,
+    /// The VM id is unknown (or already deleted).
+    UnknownVm,
+    /// The server index is out of range.
+    UnknownServer,
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InsufficientCapacity => f.write_str("no server has sufficient capacity"),
+            ClusterError::UnknownVm => f.write_str("unknown VM id"),
+            ClusterError::UnknownServer => f.write_str("unknown server index"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The outcome of a server failure: which VMs were re-created and which
+/// could not be placed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailoverReport {
+    /// VMs successfully re-created elsewhere (old id → new host index).
+    pub recreated: Vec<(VmId, usize)>,
+    /// VMs that found no capacity and are down.
+    pub unplaced: Vec<VmId>,
+}
+
+/// A fleet of servers and the VMs placed on them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    vms: BTreeMap<VmId, VmInstance>,
+    policy: PlacementPolicy,
+    oversub: Oversubscription,
+    next_id: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster from server shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(
+        specs: Vec<ServerSpec>,
+        policy: PlacementPolicy,
+        oversub: Oversubscription,
+    ) -> Self {
+        assert!(!specs.is_empty(), "a cluster needs servers");
+        Cluster {
+            servers: specs.into_iter().map(Server::new).collect(),
+            vms: BTreeMap::new(),
+            policy,
+            oversub,
+            next_id: 0,
+        }
+    }
+
+    /// The servers, in index order.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Mutable access to one server (e.g. to set its frequency).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownServer`] if the index is out of
+    /// range.
+    pub fn server_mut(&mut self, index: usize) -> Result<&mut Server, ClusterError> {
+        self.servers.get_mut(index).ok_or(ClusterError::UnknownServer)
+    }
+
+    /// The active oversubscription setting.
+    pub fn oversubscription(&self) -> Oversubscription {
+        self.oversub
+    }
+
+    /// Changes the oversubscription ratio for *future* placements.
+    pub fn set_oversubscription(&mut self, oversub: Oversubscription) {
+        self.oversub = oversub;
+    }
+
+    /// Places a VM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InsufficientCapacity`] if no healthy
+    /// server can host it.
+    pub fn create_vm(&mut self, spec: VmSpec) -> Result<VmId, ClusterError> {
+        let host = self
+            .policy
+            .choose(&self.servers, spec.vcores(), spec.memory_gb(), self.oversub)
+            .ok_or(ClusterError::InsufficientCapacity)?;
+        self.servers[host].allocate(spec.vcores(), spec.memory_gb());
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        self.vms.insert(id, VmInstance { id, spec, host });
+        Ok(id)
+    }
+
+    /// Deletes a VM and releases its resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownVm`] if the id is not live.
+    pub fn delete_vm(&mut self, id: VmId) -> Result<(), ClusterError> {
+        let vm = self.vms.remove(&id).ok_or(ClusterError::UnknownVm)?;
+        // The host may have failed since placement; failed servers have
+        // already zeroed their allocations.
+        if !self.servers[vm.host].is_failed() {
+            self.servers[vm.host].release(vm.spec.vcores(), vm.spec.memory_gb());
+        }
+        Ok(())
+    }
+
+    /// A VM's current placement.
+    pub fn vm(&self, id: VmId) -> Option<&VmInstance> {
+        self.vms.get(&id)
+    }
+
+    /// The number of live VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// All live VMs hosted on a server.
+    pub fn vms_on(&self, host: usize) -> Vec<&VmInstance> {
+        self.vms.values().filter(|vm| vm.host == host).collect()
+    }
+
+    /// Fails a server and re-creates its VMs elsewhere (the paper's
+    /// buffer scenario, Figure 6). VMs that cannot be placed are
+    /// reported and removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownServer`] if the index is out of
+    /// range.
+    pub fn fail_server(&mut self, index: usize) -> Result<FailoverReport, ClusterError> {
+        if index >= self.servers.len() {
+            return Err(ClusterError::UnknownServer);
+        }
+        self.servers[index].fail();
+        let displaced: Vec<VmInstance> = self
+            .vms
+            .values()
+            .filter(|vm| vm.host == index)
+            .cloned()
+            .collect();
+        let mut report = FailoverReport {
+            recreated: Vec::new(),
+            unplaced: Vec::new(),
+        };
+        for vm in displaced {
+            self.vms.remove(&vm.id);
+            match self.policy.choose(
+                &self.servers,
+                vm.spec.vcores(),
+                vm.spec.memory_gb(),
+                self.oversub,
+            ) {
+                Some(host) => {
+                    self.servers[host].allocate(vm.spec.vcores(), vm.spec.memory_gb());
+                    let id = VmId(self.next_id);
+                    self.next_id += 1;
+                    self.vms.insert(
+                        id,
+                        VmInstance {
+                            id,
+                            spec: vm.spec,
+                            host,
+                        },
+                    );
+                    report.recreated.push((vm.id, host));
+                }
+                None => report.unplaced.push(vm.id),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Repairs a failed server, returning it to service empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownServer`] if the index is out of
+    /// range.
+    pub fn repair_server(&mut self, index: usize) -> Result<(), ClusterError> {
+        if index >= self.servers.len() {
+            return Err(ClusterError::UnknownServer);
+        }
+        self.servers[index].repair();
+        Ok(())
+    }
+
+    /// Total pcores across healthy servers.
+    pub fn healthy_pcores(&self) -> u32 {
+        self.servers
+            .iter()
+            .filter(|s| !s.is_failed())
+            .map(|s| s.spec().pcores())
+            .sum()
+    }
+
+    /// Total allocated vcores.
+    pub fn allocated_vcores(&self) -> u32 {
+        self.vms.values().map(|vm| vm.spec.vcores()).sum()
+    }
+
+    /// Packing density: allocated vcores per healthy pcore. Exceeds 1.0
+    /// only under oversubscription.
+    pub fn packing_density(&self) -> f64 {
+        let pcores = self.healthy_pcores();
+        if pcores == 0 {
+            0.0
+        } else {
+            self.allocated_vcores() as f64 / pcores as f64
+        }
+    }
+
+    /// Packs as many copies of `spec` as fit, returning the created ids —
+    /// the primitive behind the capacity-crisis experiments.
+    pub fn fill_with(&mut self, spec: VmSpec) -> Vec<VmId> {
+        let mut out = Vec::new();
+        while let Ok(id) = self.create_vm(spec) {
+            out.push(id);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_power::units::Frequency;
+
+    fn cluster(n: usize, pcores: u32, oversub: f64) -> Cluster {
+        Cluster::new(
+            vec![
+                ServerSpec::custom(
+                    pcores,
+                    128.0,
+                    Frequency::from_ghz(2.7),
+                    Frequency::from_ghz(3.3),
+                );
+                n
+            ],
+            PlacementPolicy::FirstFit,
+            if oversub > 1.0 {
+                Oversubscription::ratio(oversub)
+            } else {
+                Oversubscription::none()
+            },
+        )
+    }
+
+    #[test]
+    fn create_and_delete_round_trip() {
+        let mut c = cluster(2, 16, 1.0);
+        let id = c.create_vm(VmSpec::new(4, 16.0)).unwrap();
+        assert_eq!(c.vm_count(), 1);
+        assert_eq!(c.allocated_vcores(), 4);
+        c.delete_vm(id).unwrap();
+        assert_eq!(c.vm_count(), 0);
+        assert_eq!(c.allocated_vcores(), 0);
+        assert_eq!(c.delete_vm(id), Err(ClusterError::UnknownVm));
+    }
+
+    #[test]
+    fn capacity_enforced_without_oversubscription() {
+        let mut c = cluster(1, 16, 1.0);
+        assert!(c.create_vm(VmSpec::new(16, 16.0)).is_ok());
+        assert_eq!(
+            c.create_vm(VmSpec::new(1, 1.0)),
+            Err(ClusterError::InsufficientCapacity)
+        );
+    }
+
+    #[test]
+    fn oversubscription_adds_20_pct_density() {
+        // The paper's headline: overclocking-backed oversubscription
+        // raises packing density by 20 %.
+        let mut base = cluster(4, 20, 1.0);
+        let mut dense = cluster(4, 20, 1.2);
+        let spec = VmSpec::new(4, 8.0);
+        let n_base = base.fill_with(spec).len();
+        let n_dense = dense.fill_with(spec).len();
+        assert_eq!(n_base, 20); // 5 VMs per 20-pcore server
+        assert_eq!(n_dense, 24); // 24 vcores per server → 6 VMs: +20 %
+        assert!((dense.packing_density() - 1.2).abs() < 1e-9);
+        assert_eq!(base.packing_density(), 1.0);
+    }
+
+    #[test]
+    fn failover_recreates_on_surviving_servers() {
+        let mut c = cluster(3, 16, 1.0);
+        let spec = VmSpec::new(8, 16.0);
+        for _ in 0..4 {
+            c.create_vm(spec).unwrap();
+        }
+        // Two VMs per... FirstFit: server0 holds 2, server1 holds 2.
+        let report = c.fail_server(0).unwrap();
+        assert_eq!(report.recreated.len(), 2);
+        assert!(report.unplaced.is_empty());
+        assert_eq!(c.vm_count(), 4);
+        assert!(c.vms_on(0).is_empty());
+    }
+
+    #[test]
+    fn failover_reports_unplaced_when_full() {
+        let mut c = cluster(2, 16, 1.0);
+        let spec = VmSpec::new(16, 16.0);
+        c.create_vm(spec).unwrap();
+        c.create_vm(spec).unwrap();
+        let report = c.fail_server(0).unwrap();
+        assert_eq!(report.recreated.len(), 0);
+        assert_eq!(report.unplaced.len(), 1);
+        assert_eq!(c.vm_count(), 1);
+    }
+
+    #[test]
+    fn repair_restores_capacity() {
+        let mut c = cluster(2, 16, 1.0);
+        c.fail_server(0).unwrap();
+        assert_eq!(c.healthy_pcores(), 16);
+        c.repair_server(0).unwrap();
+        assert_eq!(c.healthy_pcores(), 32);
+        assert!(c.create_vm(VmSpec::new(16, 1.0)).is_ok());
+    }
+
+    #[test]
+    fn delete_vm_on_failed_host_is_safe() {
+        let mut c = cluster(2, 16, 1.0);
+        let a = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
+        let b = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
+        // Fill the cluster so failover cannot re-place.
+        let report = c.fail_server(c.vm(a).map(|v| v.host).unwrap_or(0)).unwrap();
+        assert_eq!(report.unplaced.len(), 1);
+        // The surviving VM deletes cleanly.
+        let survivor = if c.vm(a).is_some() { a } else { b };
+        assert!(c.delete_vm(survivor).is_ok());
+    }
+
+    #[test]
+    fn unknown_server_errors() {
+        let mut c = cluster(1, 8, 1.0);
+        assert_eq!(c.fail_server(5), Err(ClusterError::UnknownServer));
+        assert_eq!(c.repair_server(5), Err(ClusterError::UnknownServer));
+        assert!(c.server_mut(5).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ClusterError::InsufficientCapacity.to_string(),
+            "no server has sufficient capacity"
+        );
+    }
+}

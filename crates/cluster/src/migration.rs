@@ -1,0 +1,151 @@
+//! Live VM migration cost model.
+//!
+//! The paper notes that oversubscription-plus-overclocking is a
+//! *stop-gap* "until live VM migration (which is a resource-hungry and
+//! lengthy operation) can eliminate the problem completely"
+//! (Section V, "Dense VM packing"). This module quantifies that cost so
+//! the use-case orchestrators can compare overclocking against
+//! migrating.
+
+use serde::{Deserialize, Serialize};
+
+/// Pre-copy live-migration cost estimation.
+///
+/// Total copied data is the VM's memory plus re-copies of pages dirtied
+/// while earlier rounds were in flight; the process converges when the
+/// dirty rate is below the copy bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use ic_cluster::migration::MigrationModel;
+///
+/// let m = MigrationModel::new(10.0, 0.5); // 10 Gb/s link, 0.5 GB/s dirty
+/// let est = m.estimate(16.0); // a 16 GB VM
+/// assert!(est.duration_s > 16.0 / 1.25); // longer than one raw copy
+/// assert!(est.downtime_ms < 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationModel {
+    /// Network bandwidth dedicated to migration, Gb/s.
+    link_gbps: f64,
+    /// Rate at which the workload dirties memory, GB/s.
+    dirty_rate_gbps: f64,
+}
+
+/// A migration cost estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationEstimate {
+    /// Total wall-clock duration of the migration, seconds.
+    pub duration_s: f64,
+    /// Total data copied, GB.
+    pub copied_gb: f64,
+    /// Final stop-and-copy downtime, milliseconds.
+    pub downtime_ms: f64,
+}
+
+impl MigrationModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the link bandwidth is positive and the dirty rate
+    /// is non-negative and strictly below the link's byte rate (pre-copy
+    /// would never converge otherwise).
+    pub fn new(link_gbps: f64, dirty_rate_gb_per_s: f64) -> Self {
+        assert!(link_gbps > 0.0 && link_gbps.is_finite(), "invalid link");
+        let copy_rate = link_gbps / 8.0;
+        assert!(
+            (0.0..copy_rate).contains(&dirty_rate_gb_per_s),
+            "dirty rate {dirty_rate_gb_per_s} GB/s must be below copy rate {copy_rate} GB/s"
+        );
+        MigrationModel {
+            link_gbps,
+            dirty_rate_gbps: dirty_rate_gb_per_s,
+        }
+    }
+
+    /// The effective copy rate, GB/s.
+    pub fn copy_rate_gb_per_s(&self) -> f64 {
+        self.link_gbps / 8.0
+    }
+
+    /// Estimates migrating a VM with `memory_gb` of RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_gb` is not positive.
+    pub fn estimate(&self, memory_gb: f64) -> MigrationEstimate {
+        assert!(memory_gb > 0.0 && memory_gb.is_finite(), "invalid memory");
+        let copy = self.copy_rate_gb_per_s();
+        // Geometric series: each round copies what was dirtied during
+        // the previous round; ratio r = dirty/copy < 1.
+        let r = self.dirty_rate_gbps / copy;
+        let copied_gb = memory_gb / (1.0 - r);
+        let duration_s = copied_gb / copy;
+        // Stop-and-copy once the residual set is small (threshold 64 MB
+        // or one round's residue, whichever is larger).
+        let residual_gb = (memory_gb * r.powi(8)).max(0.064);
+        let downtime_ms = residual_gb / copy * 1000.0;
+        MigrationEstimate {
+            duration_s,
+            copied_gb,
+            downtime_ms,
+        }
+    }
+
+    /// Whether overclocking for `overclock_duration_s` is cheaper (in
+    /// wall-clock disruption terms) than migrating now: the paper's
+    /// stop-gap decision.
+    pub fn overclock_is_cheaper(&self, memory_gb: f64, overclock_duration_s: f64) -> bool {
+        overclock_duration_s < self.estimate(memory_gb).duration_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_vm_migrates_in_one_copy() {
+        let m = MigrationModel::new(10.0, 0.0);
+        let est = m.estimate(16.0);
+        assert!((est.copied_gb - 16.0).abs() < 1e-9);
+        assert!((est.duration_s - 16.0 / 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dirty_pages_inflate_copy_volume() {
+        let m = MigrationModel::new(10.0, 0.625); // r = 0.5
+        let est = m.estimate(16.0);
+        assert!((est.copied_gb - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_scales_with_memory() {
+        let m = MigrationModel::new(10.0, 0.5);
+        assert!(m.estimate(64.0).duration_s > m.estimate(16.0).duration_s * 3.9);
+    }
+
+    #[test]
+    fn downtime_is_subsecond_for_convergent_migrations() {
+        let m = MigrationModel::new(25.0, 1.0);
+        let est = m.estimate(128.0);
+        assert!(est.downtime_ms < 500.0, "downtime {}", est.downtime_ms);
+    }
+
+    #[test]
+    fn stopgap_decision() {
+        let m = MigrationModel::new(10.0, 0.5);
+        // A 128 GB VM takes a while to migrate: a 30 s overclock burst
+        // is cheaper; a two-hour one is not.
+        assert!(m.overclock_is_cheaper(128.0, 30.0));
+        assert!(!m.overclock_is_cheaper(128.0, 7200.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below copy rate")]
+    fn divergent_dirty_rate_panics() {
+        let _ = MigrationModel::new(8.0, 1.5);
+    }
+}

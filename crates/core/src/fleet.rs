@@ -1,0 +1,221 @@
+//! Fleet-wide wear management: rotating overclock duty.
+//!
+//! Section IV closes with the paper's direction of "wear-out counters
+//! ... that can be used to trade-off between overclocking and lifetime".
+//! At fleet scale the interesting policy question is *which* servers
+//! should carry overclock duty: always the same ones (burning their
+//! credit) or rotated so wear equalizes. [`WearLedger`] tracks
+//! per-server wear and implements least-worn-first duty assignment.
+
+use ic_reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
+use ic_reliability::wear::WearTracker;
+use serde::{Deserialize, Serialize};
+
+/// Per-server wear bookkeeping for a fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WearLedger {
+    trackers: Vec<WearTracker>,
+}
+
+/// A duty assignment: which servers overclock this epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DutyAssignment {
+    /// Indexes of servers assigned overclock duty, least-worn first.
+    pub overclocked: Vec<usize>,
+}
+
+impl WearLedger {
+    /// Creates a ledger for `servers` identical parts with the given
+    /// service-life target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is zero or the target is not positive.
+    pub fn new(servers: usize, service_target_years: f64) -> Self {
+        assert!(servers > 0, "a fleet needs servers");
+        WearLedger {
+            trackers: vec![WearTracker::new(service_target_years); servers],
+        }
+    }
+
+    /// The number of servers tracked.
+    pub fn len(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// `true` if the ledger tracks no servers (never for a constructed
+    /// ledger; API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.trackers.is_empty()
+    }
+
+    /// One server's consumed-lifetime fraction.
+    pub fn consumed(&self, server: usize) -> f64 {
+        self.trackers[server].consumed_fraction()
+    }
+
+    /// The spread between the most- and least-worn servers.
+    pub fn wear_spread(&self) -> f64 {
+        let max = self
+            .trackers
+            .iter()
+            .map(|t| t.consumed_fraction())
+            .fold(f64::MIN, f64::max);
+        let min = self
+            .trackers
+            .iter()
+            .map(|t| t.consumed_fraction())
+            .fold(f64::MAX, f64::min);
+        max - min
+    }
+
+    /// Picks `count` servers for overclock duty, least-worn first
+    /// (ties broken by index for determinism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the fleet size.
+    pub fn assign_duty(&self, count: usize) -> DutyAssignment {
+        assert!(count <= self.trackers.len(), "not enough servers");
+        let mut order: Vec<usize> = (0..self.trackers.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.trackers[a]
+                .consumed_fraction()
+                .partial_cmp(&self.trackers[b].consumed_fraction())
+                .expect("finite wear")
+                .then(a.cmp(&b))
+        });
+        DutyAssignment {
+            overclocked: order.into_iter().take(count).collect(),
+        }
+    }
+
+    /// Records one epoch: servers in `duty` ran at `oc_conditions`, the
+    /// rest at `nominal_conditions`, for `epoch_years`, at the given
+    /// utilization.
+    pub fn record_epoch(
+        &mut self,
+        model: &CompositeLifetimeModel,
+        duty: &DutyAssignment,
+        oc_conditions: &OperatingConditions,
+        nominal_conditions: &OperatingConditions,
+        epoch_years: f64,
+        utilization: f64,
+    ) {
+        for (i, tracker) in self.trackers.iter_mut().enumerate() {
+            let cond = if duty.overclocked.contains(&i) {
+                oc_conditions
+            } else {
+                nominal_conditions
+            };
+            tracker.accrue_with_utilization(model, cond, epoch_years, utilization);
+        }
+    }
+
+    /// The number of servers that would fail their service-life target
+    /// if the rest of their life ran at `rest_conditions`.
+    pub fn at_risk(
+        &self,
+        model: &CompositeLifetimeModel,
+        rest_conditions: &OperatingConditions,
+    ) -> usize {
+        self.trackers
+            .iter()
+            .filter(|t| {
+                let target = t.service_target_years();
+                let remaining_time = (target - t.elapsed_years()).max(0.0);
+                t.consumed_fraction() + remaining_time / model.lifetime_years(rest_conditions)
+                    > 1.0
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CompositeLifetimeModel {
+        CompositeLifetimeModel::fitted_5nm()
+    }
+    fn oc() -> OperatingConditions {
+        OperatingConditions::new(0.98, 60.0, 35.0) // HFE OC: ~5 y life
+    }
+    fn nominal() -> OperatingConditions {
+        OperatingConditions::new(0.90, 51.0, 35.0) // ~18 y life
+    }
+
+    #[test]
+    fn rotation_equalizes_wear() {
+        let m = model();
+        // Fleet of 8, 2 servers on duty per quarter, rotated.
+        let mut rotated = WearLedger::new(8, 5.0);
+        let mut pinned = WearLedger::new(8, 5.0);
+        let pinned_duty = DutyAssignment { overclocked: vec![0, 1] };
+        for _ in 0..16 {
+            let duty = rotated.assign_duty(2);
+            rotated.record_epoch(&m, &duty, &oc(), &nominal(), 0.25, 0.8);
+            pinned.record_epoch(&m, &pinned_duty, &oc(), &nominal(), 0.25, 0.8);
+        }
+        assert!(
+            rotated.wear_spread() < pinned.wear_spread() / 3.0,
+            "rotated spread {} vs pinned {}",
+            rotated.wear_spread(),
+            pinned.wear_spread()
+        );
+    }
+
+    #[test]
+    fn pinned_duty_puts_servers_at_risk_sooner() {
+        let m = model();
+        let mut pinned = WearLedger::new(8, 5.0);
+        let duty = DutyAssignment { overclocked: vec![0, 1] };
+        // Three years of constant duty at full utilization.
+        for _ in 0..12 {
+            pinned.record_epoch(&m, &duty, &oc(), &nominal(), 0.25, 1.0);
+        }
+        // Servers 0/1 consumed ~3/5 of life in 3 of 5 years — on pace,
+        // but any further OC risks the target; undutied servers are far
+        // ahead of schedule.
+        assert!(pinned.consumed(0) > 0.5);
+        assert!(pinned.consumed(2) < 0.2);
+        assert_eq!(pinned.at_risk(&m, &nominal()), 0);
+        // Two more years of *hotter* duty (FC-3284 OC: ~4-year life)
+        // pushes the pinned pair past the budget.
+        let mut worn = pinned.clone();
+        let hot = OperatingConditions::new(0.98, 74.0, 50.0);
+        for _ in 0..8 {
+            worn.record_epoch(&m, &duty, &hot, &nominal(), 0.25, 1.0);
+        }
+        assert!(worn.at_risk(&m, &nominal()) >= 2);
+    }
+
+    #[test]
+    fn duty_picks_least_worn() {
+        let m = model();
+        let mut ledger = WearLedger::new(4, 5.0);
+        // Wear server 0 heavily.
+        ledger.record_epoch(
+            &m,
+            &DutyAssignment { overclocked: vec![0] },
+            &OperatingConditions::new(0.98, 101.0, 20.0),
+            &nominal(),
+            1.0,
+            1.0,
+        );
+        let duty = ledger.assign_duty(2);
+        assert!(!duty.overclocked.contains(&0), "{duty:?}");
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let ledger = WearLedger::new(5, 5.0);
+        assert_eq!(ledger.assign_duty(3).overclocked, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough servers")]
+    fn overcommitted_duty_panics() {
+        WearLedger::new(2, 5.0).assign_duty(3);
+    }
+}

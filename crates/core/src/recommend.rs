@@ -1,0 +1,232 @@
+//! From telemetry to a concrete frequency configuration.
+//!
+//! The governor answers "how fast may this socket run"; bottleneck
+//! analysis answers "which component is worth speeding up". This module
+//! closes the loop the paper sketches in Section V: given a VM's
+//! counter telemetry, recommend one of the Table VII-style
+//! configurations — core-only (OC1-like), core+uncore (OC2-like),
+//! everything (OC3-like), or nothing — together with the predicted
+//! payoff and the power cost of the choice.
+
+use crate::bottleneck::{analyze, BottleneckAnalysis, BottleneckThresholds, OverclockTarget};
+use ic_telemetry::counters::CounterDelta;
+use ic_workloads::configs::CpuConfig;
+use ic_workloads::perfmodel::ServerPowerModel;
+use serde::Serialize;
+
+/// A concrete recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Recommendation {
+    /// The Table VII configuration to apply (B2 when overclocking is
+    /// not worth its power).
+    pub config: CpuConfig,
+    /// The underlying bottleneck analysis.
+    pub analysis: BottleneckAnalysis,
+    /// Predicted speedup for the observed workload, as a fraction
+    /// (0.15 = 15 % faster), from Equation 1 applied per component.
+    pub predicted_speedup: f64,
+    /// The additional average server power the configuration costs
+    /// versus B2, watts (for the observed active-core count).
+    pub extra_power_w: f64,
+}
+
+/// Maps a counter interval to a configuration recommendation.
+///
+/// A configuration is only recommended if its predicted speedup clears
+/// `min_speedup` (the paper's warning: "providers must be careful to
+/// increase frequencies for only the bottleneck components, to avoid
+/// unnecessary power overheads").
+///
+/// # Panics
+///
+/// Panics if `active_cores > 28` (the tank-1 host) or `min_speedup` is
+/// negative.
+pub fn recommend(
+    delta: &CounterDelta,
+    active_cores: u32,
+    min_speedup: f64,
+) -> Recommendation {
+    assert!(min_speedup >= 0.0, "invalid speedup threshold");
+    let analysis = analyze(delta, BottleneckThresholds::default());
+    let b2 = CpuConfig::b2();
+    let candidate = match analysis.target {
+        OverclockTarget::None => b2.clone(),
+        OverclockTarget::Core => CpuConfig::oc1(),
+        OverclockTarget::CoreAndUncore => CpuConfig::oc2(),
+        OverclockTarget::Memory => CpuConfig::oc3(),
+    };
+
+    // Predicted speedup from the counters: the productive share scales
+    // with the core clock; the stalled share scales with the uncore/
+    // memory clocks when the candidate raises them (we attribute stall
+    // time evenly across whichever of LLC/memory the config boosts).
+    let p = analysis.productivity;
+    let core_gain = p * (1.0 - 1.0 / candidate.core_ratio_to(&b2));
+    let stall = 1.0 - p;
+    let llc_ratio = candidate.llc_ratio_to(&b2);
+    let mem_ratio = candidate.memory_ratio_to(&b2);
+    let boosted: Vec<f64> = [llc_ratio, mem_ratio]
+        .into_iter()
+        .filter(|r| *r > 1.0)
+        .collect();
+    let stall_gain: f64 = if boosted.is_empty() {
+        0.0
+    } else {
+        let share = stall / boosted.len() as f64;
+        boosted.iter().map(|r| share * (1.0 - 1.0 / r)).sum()
+    };
+    let predicted_speedup = core_gain + stall_gain;
+
+    let power = ServerPowerModel::tank1();
+    let cores = active_cores.min(28);
+    let (config, predicted_speedup, extra_power_w) = if predicted_speedup >= min_speedup
+        && analysis.target != OverclockTarget::None
+    {
+        let extra = power.avg_power_w(&candidate, cores) - power.avg_power_w(&b2, cores);
+        (candidate, predicted_speedup, extra)
+    } else {
+        (b2, 0.0, 0.0)
+    };
+    Recommendation {
+        config,
+        analysis,
+        predicted_speedup,
+        extra_power_w,
+    }
+}
+
+/// A GPU configuration recommendation (Figure 11's lesson applied).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuRecommendation {
+    /// The Table VIII configuration to apply.
+    pub config: ic_workloads::gpu::GpuConfig,
+    /// Predicted training-time reduction, as a fraction.
+    pub predicted_speedup: f64,
+    /// Extra P99 board power versus the 250 W base, watts.
+    pub extra_power_w: f64,
+}
+
+/// Picks the cheapest Table VIII GPU configuration whose *incremental*
+/// step still pays: OCG1 (core, free within 250 W) is taken whenever it
+/// clears `min_speedup`; the 300 W memory overclocks (OCG2/OCG3) are
+/// only taken when the memory step itself clears `min_step` — exactly
+/// the discipline the paper derives from VGG16B, where OCG2/OCG3 add
+/// 9.5 % P99 power "while offering little to no performance
+/// improvement".
+pub fn recommend_gpu(
+    model: &ic_workloads::gpu::VggModel,
+    min_speedup: f64,
+    min_step: f64,
+) -> GpuRecommendation {
+    use ic_workloads::gpu::{GpuConfig, GpuPowerModel};
+    let base = GpuConfig::base();
+    let power = GpuPowerModel::rtx2080ti();
+    let time = |cfg: &GpuConfig| model.normalized_time(cfg);
+
+    let mut chosen = base.clone();
+    let ocg1_gain = 1.0 - time(&GpuConfig::ocg1());
+    if ocg1_gain >= min_speedup {
+        chosen = GpuConfig::ocg1();
+        let ocg2_step = time(&GpuConfig::ocg1()) - time(&GpuConfig::ocg2());
+        if ocg2_step >= min_step {
+            chosen = GpuConfig::ocg2();
+            let ocg3_step = time(&GpuConfig::ocg2()) - time(&GpuConfig::ocg3());
+            if ocg3_step >= min_step {
+                chosen = GpuConfig::ocg3();
+            }
+        }
+    }
+    GpuRecommendation {
+        predicted_speedup: 1.0 - time(&chosen),
+        extra_power_w: power.p99_power_w(&chosen) - power.p99_power_w(&base),
+        config: chosen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_telemetry::counters::CoreCounters;
+
+    fn delta(stall: f64, busy: f64) -> CounterDelta {
+        let mut c = CoreCounters::new();
+        let t0 = c.sample(0.0);
+        c.advance(busy, 3.4e9, stall);
+        c.sample(1.0).since(&t0)
+    }
+
+    #[test]
+    fn compute_bound_gets_core_only() {
+        let r = recommend(&delta(0.05, 0.9), 4, 0.05);
+        assert_eq!(r.config.name(), "OC1");
+        assert!(r.predicted_speedup > 0.14, "{}", r.predicted_speedup);
+        assert!(r.extra_power_w > 0.0);
+    }
+
+    #[test]
+    fn memory_bound_gets_the_full_stack() {
+        let r = recommend(&delta(0.6, 0.9), 4, 0.05);
+        assert_eq!(r.config.name(), "OC3");
+        // Stall relief dominates the prediction.
+        assert!(r.predicted_speedup > 0.08);
+    }
+
+    #[test]
+    fn mixed_gets_core_and_uncore() {
+        let r = recommend(&delta(0.35, 0.9), 4, 0.05);
+        assert_eq!(r.config.name(), "OC2");
+    }
+
+    #[test]
+    fn idle_vm_stays_at_baseline() {
+        let r = recommend(&delta(0.0, 0.05), 4, 0.0);
+        assert_eq!(r.config.name(), "B2");
+        assert_eq!(r.extra_power_w, 0.0);
+    }
+
+    #[test]
+    fn high_bar_rejects_marginal_overclocks() {
+        // A heavily stalled workload gains little from the core; with a
+        // high minimum-speedup bar the recommendation falls back to B2.
+        let r = recommend(&delta(0.9, 0.9), 4, 0.25);
+        assert_eq!(r.config.name(), "B2");
+        assert_eq!(r.predicted_speedup, 0.0);
+    }
+
+    #[test]
+    fn power_cost_scales_with_configuration() {
+        let oc1 = recommend(&delta(0.05, 0.9), 8, 0.0);
+        let oc3 = recommend(&delta(0.6, 0.9), 8, 0.0);
+        assert!(oc3.extra_power_w > oc1.extra_power_w, "memory OC costs more");
+    }
+
+    #[test]
+    fn gpu_batch_optimized_model_stops_at_ocg1() {
+        use ic_workloads::gpu::VggModel;
+        let r = recommend_gpu(&VggModel::by_name("VGG16B").unwrap(), 0.05, 0.01);
+        assert_eq!(r.config.name(), "OCG1");
+        // OCG1 keeps the 250 W power limit: no extra P99 power.
+        assert_eq!(r.extra_power_w, 0.0);
+        assert!(r.predicted_speedup > 0.10);
+    }
+
+    #[test]
+    fn gpu_memory_hungry_model_takes_the_memory_overclock() {
+        use ic_workloads::gpu::VggModel;
+        let r = recommend_gpu(&VggModel::by_name("VGG11").unwrap(), 0.05, 0.01);
+        assert!(
+            r.config.name() == "OCG2" || r.config.name() == "OCG3",
+            "{}",
+            r.config.name()
+        );
+        assert!(r.extra_power_w > 30.0, "300 W limit costs P99 power");
+    }
+
+    #[test]
+    fn gpu_high_bar_keeps_the_base_config() {
+        use ic_workloads::gpu::VggModel;
+        let r = recommend_gpu(&VggModel::by_name("VGG16B").unwrap(), 0.5, 0.01);
+        assert_eq!(r.config.name(), "Base");
+        assert_eq!(r.predicted_speedup, 0.0);
+    }
+}

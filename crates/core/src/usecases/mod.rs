@@ -1,0 +1,16 @@
+//! Orchestrators for the paper's Section V datacenter use-cases.
+//!
+//! * [`highperf`] — high-performance VM classes running in the green
+//!   (and opportunistically red) overclocking bands (Figure 5c).
+//! * [`packing`] — dense VM packing: oversubscribe pcores and overclock
+//!   to compensate for contention (Figure 5d).
+//! * [`buffer`] — replace static failover buffers with virtual ones:
+//!   run VMs on all capacity and overclock survivors after a failure
+//!   (Figure 6).
+//! * [`capacity`] — bridge capacity-crisis gaps by overclocking the
+//!   existing fleet (Figure 7).
+
+pub mod buffer;
+pub mod capacity;
+pub mod highperf;
+pub mod packing;

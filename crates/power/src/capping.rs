@@ -1,0 +1,281 @@
+//! Priority-aware power capping for oversubscribed power delivery.
+//!
+//! Overclocking in power-oversubscribed datacenters increases the chance
+//! of hitting circuit-breaker limits and triggering capping mechanisms
+//! (e.g. Intel RAPL), which throttle CPU frequency and memory bandwidth —
+//! potentially erasing any overclocking gains (Section IV, "Power
+//! consumption"). The paper recommends workload-priority-based capping
+//! (\[38\], \[62\], \[70\]) so that critical or overclocked workloads are
+//! throttled last. [`PowerAllocator`] implements that policy: when
+//! demand exceeds the budget it satisfies consumers in priority order,
+//! reducing the lowest-priority consumers toward their floors first.
+
+use serde::{Deserialize, Serialize};
+
+/// How important a power consumer is when the budget runs short.
+/// Higher variants are throttled later.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Preemptible batch work: first to be capped.
+    Batch = 0,
+    /// Ordinary third-party VMs.
+    Normal = 1,
+    /// Latency-sensitive or overclocked workloads: capped last.
+    Critical = 2,
+}
+
+/// One server (or socket) asking for power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerRequest {
+    /// Caller-chosen identifier, returned in the grant.
+    pub id: u64,
+    /// Scheduling priority under contention.
+    pub priority: Priority,
+    /// The minimum power the consumer needs to stay operational (e.g.
+    /// base-frequency draw). Never reduced below this.
+    pub floor_w: f64,
+    /// The power the consumer wants right now (e.g. overclocked draw).
+    pub demand_w: f64,
+}
+
+/// A consumer's share of the budget after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerGrant {
+    /// Matches the request id.
+    pub id: u64,
+    /// Granted watts, in `[floor_w, demand_w]`.
+    pub granted_w: f64,
+    /// `true` if the grant is below demand (the consumer must throttle).
+    pub capped: bool,
+}
+
+/// A fixed power budget shared by prioritized consumers.
+///
+/// # Example
+///
+/// ```
+/// use ic_power::capping::{PowerAllocator, PowerRequest, Priority};
+///
+/// let alloc = PowerAllocator::new(500.0);
+/// let grants = alloc.allocate(&[
+///     PowerRequest { id: 1, priority: Priority::Critical, floor_w: 100.0, demand_w: 300.0 },
+///     PowerRequest { id: 2, priority: Priority::Batch, floor_w: 100.0, demand_w: 300.0 },
+/// ]);
+/// // The critical consumer gets its full demand; batch absorbs the cut.
+/// assert_eq!(grants[0].granted_w, 300.0);
+/// assert_eq!(grants[1].granted_w, 200.0);
+/// assert!(grants[1].capped);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerAllocator {
+    budget_w: f64,
+}
+
+impl PowerAllocator {
+    /// Creates an allocator with the given budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_w` is negative or non-finite.
+    pub fn new(budget_w: f64) -> Self {
+        assert!(
+            budget_w.is_finite() && budget_w >= 0.0,
+            "invalid budget {budget_w}"
+        );
+        PowerAllocator { budget_w }
+    }
+
+    /// The budget in watts.
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// `true` if the sum of demands exceeds the budget (capping will
+    /// occur).
+    pub fn is_oversubscribed(&self, requests: &[PowerRequest]) -> bool {
+        requests.iter().map(|r| r.demand_w).sum::<f64>() > self.budget_w
+    }
+
+    /// Distributes the budget. Every consumer receives at least its floor
+    /// (floors are honoured even if they exceed the budget — tripping a
+    /// breaker is modelled upstream, not by starving servers below
+    /// operational minimums). Remaining budget is then granted in
+    /// priority order, highest first; within a priority class, shortfall
+    /// is shared proportionally to each consumer's headroom
+    /// (`demand − floor`).
+    ///
+    /// Grants are returned in the same order as `requests`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has `demand_w < floor_w` or negative values.
+    pub fn allocate(&self, requests: &[PowerRequest]) -> Vec<PowerGrant> {
+        for r in requests {
+            assert!(
+                r.floor_w >= 0.0 && r.demand_w >= r.floor_w && r.demand_w.is_finite(),
+                "invalid request {r:?}"
+            );
+        }
+        let floors: f64 = requests.iter().map(|r| r.floor_w).sum();
+        let mut remaining = (self.budget_w - floors).max(0.0);
+
+        // Group indexes by priority, highest class served first.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by(|&a, &b| requests[b].priority.cmp(&requests[a].priority));
+
+        let mut granted: Vec<f64> = requests.iter().map(|r| r.floor_w).collect();
+        let mut i = 0;
+        while i < order.len() {
+            // Collect the whole priority class.
+            let class = requests[order[i]].priority;
+            let mut j = i;
+            while j < order.len() && requests[order[j]].priority == class {
+                j += 1;
+            }
+            let members = &order[i..j];
+            let headroom: f64 = members
+                .iter()
+                .map(|&m| requests[m].demand_w - requests[m].floor_w)
+                .sum();
+            if headroom <= remaining {
+                // Everyone in this class gets full demand.
+                for &m in members {
+                    granted[m] = requests[m].demand_w;
+                }
+                remaining -= headroom;
+            } else {
+                // Proportional sharing of what's left.
+                let share = if headroom > 0.0 { remaining / headroom } else { 0.0 };
+                for &m in members {
+                    let h = requests[m].demand_w - requests[m].floor_w;
+                    granted[m] = requests[m].floor_w + h * share;
+                }
+                remaining = 0.0;
+            }
+            i = j;
+        }
+
+        requests
+            .iter()
+            .zip(granted)
+            .map(|(r, g)| PowerGrant {
+                id: r.id,
+                granted_w: g,
+                capped: g < r.demand_w - 1e-9,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, priority: Priority, floor: f64, demand: f64) -> PowerRequest {
+        PowerRequest {
+            id,
+            priority,
+            floor_w: floor,
+            demand_w: demand,
+        }
+    }
+
+    #[test]
+    fn no_contention_everyone_gets_demand() {
+        let alloc = PowerAllocator::new(1000.0);
+        let grants = alloc.allocate(&[
+            req(1, Priority::Batch, 50.0, 200.0),
+            req(2, Priority::Critical, 50.0, 300.0),
+        ]);
+        assert!(grants.iter().all(|g| !g.capped));
+        assert_eq!(grants[0].granted_w, 200.0);
+        assert_eq!(grants[1].granted_w, 300.0);
+    }
+
+    #[test]
+    fn critical_throttled_last() {
+        let alloc = PowerAllocator::new(450.0);
+        let grants = alloc.allocate(&[
+            req(1, Priority::Batch, 100.0, 300.0),
+            req(2, Priority::Critical, 100.0, 300.0),
+        ]);
+        assert_eq!(grants[1].granted_w, 300.0);
+        assert!((grants[0].granted_w - 150.0).abs() < 1e-9);
+        assert!(grants[0].capped && !grants[1].capped);
+    }
+
+    #[test]
+    fn within_class_proportional_sharing() {
+        let alloc = PowerAllocator::new(400.0);
+        let grants = alloc.allocate(&[
+            req(1, Priority::Normal, 100.0, 300.0), // headroom 200
+            req(2, Priority::Normal, 100.0, 200.0), // headroom 100
+        ]);
+        // Remaining after floors: 200 over headroom 300 → 2/3 share.
+        assert!((grants[0].granted_w - (100.0 + 200.0 * 2.0 / 3.0)).abs() < 1e-9);
+        assert!((grants[1].granted_w - (100.0 + 100.0 * 2.0 / 3.0)).abs() < 1e-9);
+        let total: f64 = grants.iter().map(|g| g.granted_w).sum();
+        assert!((total - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floors_always_honoured() {
+        let alloc = PowerAllocator::new(100.0);
+        let grants = alloc.allocate(&[
+            req(1, Priority::Batch, 80.0, 200.0),
+            req(2, Priority::Critical, 80.0, 200.0),
+        ]);
+        assert_eq!(grants[0].granted_w, 80.0);
+        assert_eq!(grants[1].granted_w, 80.0);
+    }
+
+    #[test]
+    fn grants_never_exceed_budget_when_floors_fit() {
+        let alloc = PowerAllocator::new(777.0);
+        let reqs: Vec<PowerRequest> = (0..10)
+            .map(|i| {
+                req(
+                    i,
+                    if i % 2 == 0 { Priority::Batch } else { Priority::Normal },
+                    10.0,
+                    150.0,
+                )
+            })
+            .collect();
+        let total: f64 = alloc.allocate(&reqs).iter().map(|g| g.granted_w).sum();
+        assert!(total <= 777.0 + 1e-9);
+    }
+
+    #[test]
+    fn oversubscription_detection() {
+        let alloc = PowerAllocator::new(500.0);
+        assert!(!alloc.is_oversubscribed(&[req(1, Priority::Normal, 0.0, 400.0)]));
+        assert!(alloc.is_oversubscribed(&[
+            req(1, Priority::Normal, 0.0, 400.0),
+            req(2, Priority::Normal, 0.0, 200.0)
+        ]));
+    }
+
+    #[test]
+    fn three_priority_classes_cascade() {
+        let alloc = PowerAllocator::new(350.0);
+        let grants = alloc.allocate(&[
+            req(1, Priority::Batch, 50.0, 200.0),
+            req(2, Priority::Normal, 50.0, 200.0),
+            req(3, Priority::Critical, 50.0, 200.0),
+        ]);
+        // Floors: 150. Remaining 200 → Critical +150 (full), Normal +50,
+        // Batch +0.
+        assert_eq!(grants[2].granted_w, 200.0);
+        assert_eq!(grants[1].granted_w, 100.0);
+        assert_eq!(grants[0].granted_w, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid request")]
+    fn demand_below_floor_panics() {
+        PowerAllocator::new(100.0).allocate(&[req(1, Priority::Batch, 50.0, 10.0)]);
+    }
+}

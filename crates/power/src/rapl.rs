@@ -1,0 +1,245 @@
+//! A RAPL-style closed-loop power capper.
+//!
+//! Intel RAPL (cited as \[18\] in the paper) enforces a running-average
+//! power limit by stepping the core frequency down when the averaged
+//! power exceeds the cap and back up when headroom returns. The paper's
+//! concern: such capping "might offset any performance gains from
+//! overclocking", so the governor must know whether a requested
+//! operating point will survive the capper. [`RaplController`] simulates
+//! the feedback loop against the socket power model.
+
+use crate::cpu::CpuSku;
+use crate::units::Frequency;
+use ic_thermal::junction::ThermalInterface;
+use serde::{Deserialize, Serialize};
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaplConfig {
+    /// The enforced power limit, watts.
+    pub power_limit_w: f64,
+    /// Exponential-averaging window, seconds (RAPL PL1-style).
+    pub window_s: f64,
+    /// Controller evaluation period, seconds.
+    pub period_s: f64,
+}
+
+impl RaplConfig {
+    /// A PL1-style long-term limit: 28 s window, 1 s control period.
+    pub fn pl1(power_limit_w: f64) -> Self {
+        assert!(power_limit_w > 0.0, "invalid power limit");
+        RaplConfig {
+            power_limit_w,
+            window_s: 28.0,
+            period_s: 1.0,
+        }
+    }
+}
+
+/// One step of the simulated capping loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaplStep {
+    /// Time since the loop started, seconds.
+    pub t_s: f64,
+    /// The frequency in force during this period.
+    pub frequency: Frequency,
+    /// Instantaneous socket power, watts.
+    pub power_w: f64,
+    /// Running-average power, watts.
+    pub avg_power_w: f64,
+    /// `true` if the controller throttled this step.
+    pub throttled: bool,
+}
+
+/// The closed-loop capper.
+#[derive(Debug, Clone)]
+pub struct RaplController {
+    config: RaplConfig,
+    avg_power_w: f64,
+    current: Frequency,
+    floor: Frequency,
+    target: Frequency,
+    t_s: f64,
+}
+
+impl RaplController {
+    /// Creates a controller that tries to run at `target` but never
+    /// below `floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor > target`.
+    pub fn new(config: RaplConfig, floor: Frequency, target: Frequency) -> Self {
+        assert!(floor <= target, "floor above target");
+        RaplController {
+            config,
+            avg_power_w: 0.0,
+            current: target,
+            floor,
+            target,
+            t_s: 0.0,
+        }
+    }
+
+    /// The frequency currently in force.
+    pub fn current_frequency(&self) -> Frequency {
+        self.current
+    }
+
+    /// Advances the loop one control period against the socket model.
+    pub fn step(&mut self, sku: &CpuSku, iface: &ThermalInterface) -> RaplStep {
+        let v = sku.voltage_for(self.current);
+        let power = sku.steady_state(iface, self.current, v).power_w;
+        // Exponential moving average with time constant = window.
+        let alpha = (self.config.period_s / self.config.window_s).min(1.0);
+        if self.t_s == 0.0 {
+            self.avg_power_w = power;
+        } else {
+            self.avg_power_w += alpha * (power - self.avg_power_w);
+        }
+        self.t_s += self.config.period_s;
+
+        let mut throttled = false;
+        if self.avg_power_w > self.config.power_limit_w && self.current > self.floor {
+            self.current = self.current.step_bins(-1).clamp(self.floor, self.target);
+            throttled = true;
+        } else if self.avg_power_w <= self.config.power_limit_w && self.current < self.target {
+            // Headroom: climb one bin, but only if the model predicts
+            // the next bin still fits the cap (predictive up-step, as
+            // real governors do to avoid limit cycles).
+            let next = self.current.step_bins(1).clamp(self.floor, self.target);
+            let next_power = sku
+                .steady_state(iface, next, sku.voltage_for(next))
+                .power_w;
+            if next_power <= self.config.power_limit_w {
+                self.current = next;
+            }
+        }
+        RaplStep {
+            t_s: self.t_s,
+            frequency: self.current,
+            power_w: power,
+            avg_power_w: self.avg_power_w,
+            throttled,
+        }
+    }
+
+    /// Runs the loop until the frequency is stable for `settle_periods`
+    /// consecutive steps (or `max_steps` elapse) and returns the
+    /// settled frequency — the *sustainable* operating point under this
+    /// cap. This is what the overclock governor should promise, rather
+    /// than a frequency the capper will claw back.
+    pub fn settle(
+        &mut self,
+        sku: &CpuSku,
+        iface: &ThermalInterface,
+        settle_periods: u32,
+        max_steps: u32,
+    ) -> Frequency {
+        let mut stable = 0;
+        let mut last = self.current;
+        for _ in 0..max_steps {
+            let step = self.step(sku, iface);
+            // Equilibrium = frequency unchanged AND the running average
+            // has converged to the instantaneous power (otherwise the
+            // loop is merely waiting for the EMA to drain).
+            let converged = (step.avg_power_w - step.power_w).abs() < 0.02 * step.power_w;
+            if step.frequency == last && converged {
+                stable += 1;
+                if stable >= settle_periods {
+                    return step.frequency;
+                }
+            } else {
+                stable = 0;
+                last = step.frequency;
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_thermal::fluid::DielectricFluid;
+
+    fn tank() -> ThermalInterface {
+        ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6)
+    }
+
+    #[test]
+    fn generous_cap_never_throttles() {
+        let sku = CpuSku::skylake_8180();
+        let mut ctl = RaplController::new(
+            RaplConfig::pl1(400.0),
+            sku.base(),
+            Frequency::from_ghz(3.3),
+        );
+        for _ in 0..60 {
+            assert!(!ctl.step(&sku, &tank()).throttled);
+        }
+        assert_eq!(ctl.current_frequency(), Frequency::from_ghz(3.3));
+    }
+
+    #[test]
+    fn tight_cap_settles_below_target() {
+        let sku = CpuSku::skylake_8180();
+        let mut ctl = RaplController::new(
+            RaplConfig::pl1(205.0),
+            sku.base(),
+            Frequency::from_ghz(3.3),
+        );
+        let settled = ctl.settle(&sku, &tank(), 10, 500);
+        assert!(settled < Frequency::from_ghz(3.3));
+        // The settled point genuinely fits the cap (within the bin
+        // oscillation the up-step hysteresis allows).
+        let v = sku.voltage_for(settled);
+        let power = sku.steady_state(&tank(), settled, v).power_w;
+        assert!(power <= 205.0 * 1.04, "settled power {power}");
+    }
+
+    #[test]
+    fn settled_point_matches_governor_style_max_turbo() {
+        // The closed loop should land within a bin of the open-form
+        // inversion used by CpuSku::max_turbo.
+        let sku = CpuSku::skylake_8180();
+        let analytic = sku.max_turbo(&tank(), 205.0);
+        let mut ctl = RaplController::new(
+            RaplConfig::pl1(205.0),
+            sku.base(),
+            Frequency::from_ghz(3.3),
+        );
+        let settled = ctl.settle(&sku, &tank(), 10, 500);
+        assert!(
+            settled.bins_above(analytic).abs() <= 1,
+            "settled {settled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn never_drops_below_floor() {
+        let sku = CpuSku::skylake_8180();
+        let floor = Frequency::from_ghz(2.0);
+        let mut ctl = RaplController::new(RaplConfig::pl1(50.0), floor, Frequency::from_ghz(3.3));
+        for _ in 0..200 {
+            ctl.step(&sku, &tank());
+        }
+        assert_eq!(ctl.current_frequency(), floor);
+    }
+
+    #[test]
+    fn recovers_when_cap_is_raised() {
+        let sku = CpuSku::skylake_8180();
+        let mut ctl = RaplController::new(
+            RaplConfig::pl1(205.0),
+            sku.base(),
+            Frequency::from_ghz(3.3),
+        );
+        let low = ctl.settle(&sku, &tank(), 10, 500);
+        assert!(low < Frequency::from_ghz(3.3));
+        // Raise the cap: the controller climbs back to target.
+        ctl.config.power_limit_w = 400.0;
+        let high = ctl.settle(&sku, &tank(), 10, 500);
+        assert_eq!(high, Frequency::from_ghz(3.3));
+    }
+}

@@ -1,0 +1,386 @@
+//! Probability distributions for workload modelling.
+//!
+//! The paper's auto-scaling evaluation drives an **M/G/k** client–server
+//! application: Markovian (Poisson) arrivals and a *General* service-time
+//! distribution (Section VI-D). This module implements the distributions
+//! needed to express both sides — exponential inter-arrivals and a family
+//! of general service-time laws (lognormal, Pareto, Erlang, empirical) —
+//! without pulling external crates, so sampling behaviour is fully
+//! deterministic and documented.
+//!
+//! All distributions report their analytic [`mean`](Dist::mean) and
+//! [squared coefficient of variation](Dist::scv), which the M/G/k latency
+//! approximations in `ic-workloads` consume.
+
+use crate::rng::SimRng;
+use std::fmt;
+
+/// A sampleable, positive-valued probability distribution.
+///
+/// Implementors must return finite, non-negative samples.
+pub trait Dist: fmt::Debug {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The analytic mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// The squared coefficient of variation, `Var / Mean²`. Returns 0 for
+    /// deterministic distributions and 1 for the exponential.
+    fn scv(&self) -> f64;
+}
+
+/// A distribution that always returns the same value.
+///
+/// # Example
+///
+/// ```
+/// use ic_sim::dist::{Dist, Deterministic};
+/// use ic_sim::rng::SimRng;
+///
+/// let d = Deterministic::new(2.5);
+/// assert_eq!(d.sample(&mut SimRng::seed_from_u64(0)), 2.5);
+/// assert_eq!(d.scv(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point mass at `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "invalid value {value}");
+        Deterministic { value }
+    }
+}
+
+impl Dist for Deterministic {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+    fn mean(&self) -> f64 {
+        self.value
+    }
+    fn scv(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The exponential distribution, parameterized by its mean (`1/λ`).
+///
+/// Models Poisson arrival processes: the "M" in the paper's M/G/k
+/// client-server application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        Exponential { mean }
+    }
+
+    /// Creates an exponential distribution with the given rate `λ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "invalid rate {rate}");
+        Exponential { mean: 1.0 / rate }
+    }
+}
+
+impl Dist for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF on (0, 1] to avoid ln(0).
+        -self.mean * (1.0 - rng.uniform()).ln()
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn scv(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The lognormal distribution, the workspace's default "General" service
+/// law: heavier-tailed than exponential, as observed for request service
+/// times in interactive cloud services.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal from the *underlying normal* parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite() && sigma >= 0.0);
+        LogNormal { mu, sigma }
+    }
+
+    /// Creates a lognormal with the given *distribution* mean and squared
+    /// coefficient of variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `scv < 0`.
+    pub fn with_mean_scv(mean: f64, scv: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        assert!(scv.is_finite() && scv >= 0.0, "invalid scv {scv}");
+        let sigma2 = (1.0 + scv).ln();
+        LogNormal {
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        }
+    }
+}
+
+impl Dist for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+    fn scv(&self) -> f64 {
+        (self.sigma * self.sigma).exp() - 1.0
+    }
+}
+
+/// The Pareto (power-law) distribution with scale `x_m` and shape `α`,
+/// for modelling heavy-tailed batch job sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0` or `shape <= 2` (we require a finite variance
+    /// so that [`Dist::scv`] is well-defined).
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale {scale}");
+        assert!(
+            shape.is_finite() && shape > 2.0,
+            "shape must exceed 2 for finite variance, got {shape}"
+        );
+        Pareto { scale, shape }
+    }
+}
+
+impl Dist for Pareto {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.scale / (1.0 - rng.uniform()).powf(1.0 / self.shape)
+    }
+    fn mean(&self) -> f64 {
+        self.shape * self.scale / (self.shape - 1.0)
+    }
+    fn scv(&self) -> f64 {
+        // Var = α x² / ((α-1)² (α-2)); SCV = Var / mean² = 1 / (α(α-2)).
+        1.0 / (self.shape * (self.shape - 2.0))
+    }
+}
+
+/// The Erlang-k distribution (sum of `k` exponentials), for service laws
+/// *less* variable than exponential.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    k: u32,
+    stage_mean: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang-`k` distribution with overall mean `mean`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `mean <= 0`.
+    pub fn new(k: u32, mean: f64) -> Self {
+        assert!(k > 0, "Erlang requires k >= 1");
+        assert!(mean.is_finite() && mean > 0.0, "invalid mean {mean}");
+        Erlang {
+            k,
+            stage_mean: mean / k as f64,
+        }
+    }
+}
+
+impl Dist for Erlang {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (0..self.k)
+            .map(|_| -self.stage_mean * (1.0 - rng.uniform()).ln())
+            .sum()
+    }
+    fn mean(&self) -> f64 {
+        self.stage_mean * self.k as f64
+    }
+    fn scv(&self) -> f64 {
+        1.0 / self.k as f64
+    }
+}
+
+/// An empirical distribution that samples uniformly from observed values,
+/// for replaying measured traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    values: Vec<f64>,
+    mean: f64,
+    scv: f64,
+}
+
+impl Empirical {
+    /// Creates an empirical distribution from observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains negative/non-finite entries.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "empirical distribution needs data");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "observations must be finite and non-negative"
+        );
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let scv = if mean > 0.0 { var / (mean * mean) } else { 0.0 };
+        Empirical { values, mean, scv }
+    }
+
+    /// The number of underlying observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if there are no observations (never true for a constructed
+    /// value; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Dist for Empirical {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.values[rng.index(self.values.len())]
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+    fn scv(&self) -> f64 {
+        self.scv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_moments(dist: &dyn Dist, n: usize, tol: f64) {
+        let mut rng = SimRng::seed_from_u64(1234);
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean - dist.mean()).abs() / dist.mean().max(1e-12) < tol,
+            "sample mean {mean} vs analytic {}",
+            dist.mean()
+        );
+        assert!(samples.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_moments() {
+        let d = Deterministic::new(4.0);
+        check_moments(&d, 10, 1e-12);
+        assert_eq!(d.scv(), 0.0);
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = Exponential::with_mean(2.0);
+        check_moments(&d, 50_000, 0.03);
+        assert_eq!(d.scv(), 1.0);
+        assert!((Exponential::with_rate(0.5).mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_matches_requested_moments() {
+        let d = LogNormal::with_mean_scv(3.0, 0.5);
+        assert!((d.mean() - 3.0).abs() < 1e-9);
+        assert!((d.scv() - 0.5).abs() < 1e-9);
+        check_moments(&d, 100_000, 0.03);
+    }
+
+    #[test]
+    fn pareto_moments() {
+        let d = Pareto::new(1.0, 3.0);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.scv() - 1.0 / 3.0).abs() < 1e-12);
+        check_moments(&d, 200_000, 0.05);
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let d = Erlang::new(4, 2.0);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(d.scv(), 0.25);
+        check_moments(&d, 50_000, 0.03);
+    }
+
+    #[test]
+    fn empirical_reproduces_data_statistics() {
+        let d = Empirical::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.mean(), 2.5);
+        assert_eq!(d.len(), 4);
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let s = d.sample(&mut rng);
+            assert!([1.0, 2.0, 3.0, 4.0].contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_empirical_panics() {
+        let _ = Empirical::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must exceed 2")]
+    fn pareto_low_shape_panics() {
+        let _ = Pareto::new(1.0, 1.5);
+    }
+
+    #[test]
+    fn trait_objects_compose() {
+        let dists: Vec<Box<dyn Dist>> = vec![
+            Box::new(Deterministic::new(1.0)),
+            Box::new(Exponential::with_mean(1.0)),
+            Box::new(LogNormal::with_mean_scv(1.0, 2.0)),
+        ];
+        let mut rng = SimRng::seed_from_u64(0);
+        for d in &dists {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+}

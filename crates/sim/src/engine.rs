@@ -1,0 +1,298 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Engine<S>`] holds a priority queue of timestamped events over a
+//! user-supplied state type `S`. Events are boxed `FnOnce(&mut S, &mut
+//! Engine<S>)` closures, so handlers can freely schedule follow-up events.
+//! Ties at the same instant are broken by insertion order, which keeps runs
+//! deterministic — a requirement for the paper's policy comparisons, where
+//! the baseline and the overclocking auto-scalers must see identical
+//! arrival sequences.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// An event handler: runs against the simulation state and may schedule
+/// further events through the engine.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and, on a
+        // tie, the earliest-scheduled one) is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over state `S`.
+///
+/// # Example
+///
+/// ```
+/// use ic_sim::engine::Engine;
+/// use ic_sim::time::{SimDuration, SimTime};
+///
+/// // A self-rescheduling heartbeat that stops after 3 beats.
+/// struct State { beats: u32 }
+/// fn beat(s: &mut State, engine: &mut Engine<State>) {
+///     s.beats += 1;
+///     if s.beats < 3 {
+///         engine.schedule_in(SimDuration::from_secs(1), beat);
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.schedule(SimTime::ZERO, beat);
+/// let mut state = State { beats: 0 };
+/// engine.run(&mut state);
+/// assert_eq!(state.beats, 3);
+/// assert_eq!(engine.now(), SimTime::from_secs(2));
+/// ```
+pub struct Engine<S> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<S>>,
+    seq: u64,
+    processed: u64,
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`] and no pending
+    /// events.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of events executed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The number of events waiting in the queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock: the past is
+    /// immutable in a discrete-event simulation.
+    pub fn schedule<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut S, &mut Engine<S>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule at {at} before current time {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut S, &mut Engine<S>) + 'static,
+    {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Runs events until the queue is empty. Returns the number of events
+    /// executed by this call.
+    pub fn run(&mut self, state: &mut S) -> u64 {
+        self.run_until(state, SimTime::MAX)
+    }
+
+    /// Runs events with timestamps `<= deadline`, advancing the clock to
+    /// each event's timestamp and finally to `deadline` (if later than the
+    /// last event). Returns the number of events executed by this call.
+    pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> u64 {
+        let mut executed = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.at >= self.now, "event queue went backwards");
+            self.now = ev.at;
+            (ev.run)(state, self);
+            self.processed += 1;
+            executed += 1;
+        }
+        if deadline != SimTime::MAX && deadline > self.now {
+            self.now = deadline;
+        }
+        executed
+    }
+
+    /// Executes exactly one event, if any is pending. Returns the timestamp
+    /// of the executed event.
+    pub fn step(&mut self, state: &mut S) -> Option<SimTime> {
+        let ev = self.queue.pop()?;
+        self.now = ev.at;
+        (ev.run)(state, self);
+        self.processed += 1;
+        Some(self.now)
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.at)
+    }
+
+    /// Discards all pending events without running them.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_in_time_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        engine.schedule(SimTime::from_secs(3), |log, _| log.push(3));
+        engine.schedule(SimTime::from_secs(1), |log, _| log.push(1));
+        engine.schedule(SimTime::from_secs(2), |log, _| log.push(2));
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(engine.events_processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut engine: Engine<Vec<u32>> = Engine::new();
+        for i in 0..5 {
+            engine.schedule(SimTime::from_secs(1), move |log: &mut Vec<u32>, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        engine.run(&mut log);
+        assert_eq!(log, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handlers_can_reschedule() {
+        let mut engine: Engine<u32> = Engine::new();
+        fn tick(count: &mut u32, engine: &mut Engine<u32>) {
+            *count += 1;
+            if *count < 4 {
+                engine.schedule_in(SimDuration::from_secs(2), tick);
+            }
+        }
+        engine.schedule(SimTime::ZERO, tick);
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 4);
+        assert_eq!(engine.now(), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn run_until_respects_deadline_and_advances_clock() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimTime::from_secs(1), |c, _| *c += 1);
+        engine.schedule(SimTime::from_secs(10), |c, _| *c += 1);
+        let mut count = 0;
+        let n = engine.run_until(&mut count, SimTime::from_secs(5));
+        assert_eq!(n, 1);
+        assert_eq!(count, 1);
+        assert_eq!(engine.now(), SimTime::from_secs(5));
+        assert_eq!(engine.pending(), 1);
+        engine.run(&mut count);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn step_executes_single_event() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimTime::from_secs(2), |c, _| *c += 10);
+        let mut count = 0;
+        assert_eq!(engine.step(&mut count), Some(SimTime::from_secs(2)));
+        assert_eq!(count, 10);
+        assert_eq!(engine.step(&mut count), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimTime::from_secs(5), |_, _| {});
+        let mut s = 0;
+        engine.run(&mut s);
+        engine.schedule(SimTime::from_secs(1), |_, _| {});
+    }
+
+    #[test]
+    fn clear_discards_pending() {
+        let mut engine: Engine<u32> = Engine::new();
+        engine.schedule(SimTime::from_secs(1), |c, _| *c += 1);
+        engine.clear();
+        let mut count = 0;
+        engine.run(&mut count);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn next_event_time_peeks() {
+        let mut engine: Engine<()> = Engine::new();
+        assert_eq!(engine.next_event_time(), None);
+        engine.schedule(SimTime::from_secs(7), |_, _| {});
+        assert_eq!(engine.next_event_time(), Some(SimTime::from_secs(7)));
+    }
+}

@@ -1,0 +1,40 @@
+//! Discrete-event simulation kernel and numeric toolbox for the
+//! `immersion-cloud` workspace.
+//!
+//! The paper this workspace reproduces ("Cost-Efficient Overclocking in
+//! Immersion-Cooled Datacenters", ISCA 2021) evaluates its control-plane
+//! systems — oversubscribed VM packing and an overclocking-enhanced
+//! auto-scaler — on physical 2PIC tank prototypes. This crate provides the
+//! simulation substrate that replaces that hardware: a deterministic
+//! discrete-event engine ([`engine::Engine`]), seeded random-number
+//! generation ([`rng::SimRng`]), probability distributions implemented
+//! in-crate ([`dist`]), and streaming statistics ([`stats`]) used to report
+//! the P95/P99 metrics the paper's evaluation is built on.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_sim::engine::Engine;
+//! use ic_sim::time::SimTime;
+//!
+//! // Count events fired up to and including t = 5 s.
+//! let mut engine: Engine<u32> = Engine::new();
+//! for i in 0..10 {
+//!     engine.schedule(SimTime::from_secs(i), |count, _ctx| *count += 1);
+//! }
+//! let mut count = 0;
+//! engine.run_until(&mut count, SimTime::from_secs(5));
+//! assert_eq!(count, 6); // t = 0..=5 inclusive
+//! ```
+
+pub mod dist;
+pub mod engine;
+pub mod hist;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use engine::Engine;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,184 @@
+//! Deterministic random-number generation for simulations.
+//!
+//! [`SimRng`] wraps a seeded ChaCha-based PRNG (`rand::rngs::StdRng`) and
+//! exposes the handful of primitives the workspace needs. Every experiment
+//! binary takes an explicit seed so that the paper's figures regenerate
+//! bit-identically; `fork` derives independent child streams (one per VM,
+//! per client, …) from a parent without the streams overlapping.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded, forkable random-number generator.
+///
+/// # Example
+///
+/// ```
+/// use ic_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(42);
+/// let mut b = SimRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: rand::rngs::StdRng,
+    forks: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: rand::rngs::StdRng::seed_from_u64(seed),
+            forks: 0,
+        }
+    }
+
+    /// Derives an independent child generator. Each call yields a distinct
+    /// stream; the parent's own stream is unaffected apart from the fork
+    /// counter, so fork order (not interleaved draws) determines child
+    /// streams.
+    pub fn fork(&mut self) -> SimRng {
+        self.forks += 1;
+        // Mix the fork index into a fresh seed drawn from the parent stream.
+        let seed = self.inner.gen::<u64>() ^ self.forks.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform sample from `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform sample from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` or either bound is non-finite.
+    pub fn uniform_range(&mut self, low: f64, high: f64) -> f64 {
+        assert!(
+            low < high && low.is_finite() && high.is_finite(),
+            "invalid uniform range [{low}, {high})"
+        );
+        low + (high - low) * self.uniform()
+    }
+
+    /// A uniform integer from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample an index from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// A Bernoulli trial that succeeds with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Draw u1 from (0, 1] to keep ln(u1) finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should not coincide");
+    }
+
+    #[test]
+    fn forks_are_independent_and_reproducible() {
+        let mut parent1 = SimRng::seed_from_u64(9);
+        let mut parent2 = SimRng::seed_from_u64(9);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        for _ in 0..10 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+        let mut d1 = parent1.fork();
+        assert_ne!(c1.next_u64(), d1.next_u64());
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = rng.uniform_range(2.0, 5.0);
+            assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.index(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(6);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-3.0));
+        assert!(rng.chance(2.0));
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn bad_uniform_range_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = rng.uniform_range(5.0, 2.0);
+    }
+}

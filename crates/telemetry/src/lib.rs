@@ -1,0 +1,37 @@
+//! Hardware-counter emulation and the workload frequency-scaling law
+//! (paper Section VI-D).
+//!
+//! The paper's auto-scaler decides *whether and how much* to overclock
+//! from two architecture-independent per-core counters:
+//!
+//! * **Aperf** — cycles the core is active and running,
+//! * **Pperf** — like Aperf, but excluding cycles where the active core
+//!   is stalled on a dependency (e.g. a memory access).
+//!
+//! The ratio `ΔPperf/ΔAperf` measures how *frequency-scalable* the
+//! running workload is, and feeds the scaling law of Mubeen \[51\], the
+//! paper's Equation 1:
+//!
+//! ```text
+//! Util' = Util × (ΔPperf/ΔAperf × F0/F1 + (1 − ΔPperf/ΔAperf))
+//! ```
+//!
+//! Modules: [`counters`] emulates the counters for simulated cores;
+//! [`eq1`] implements the law and its inversion (the minimum frequency
+//! that keeps utilization under a threshold).
+//!
+//! # Example
+//!
+//! ```
+//! use ic_telemetry::eq1::predict_utilization;
+//!
+//! // A fully CPU-bound workload (productivity 1.0) at 60 % utilization
+//! // drops to ~50 % when overclocked from 3.4 to 4.1 GHz.
+//! let util = predict_utilization(0.60, 1.0, 3.4e9, 4.1e9);
+//! assert!((util - 0.60 * 3.4 / 4.1).abs() < 1e-12);
+//! ```
+
+pub mod counters;
+pub mod eq1;
+
+pub use counters::{CoreCounters, CounterDelta, CounterSample};

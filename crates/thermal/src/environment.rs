@@ -1,0 +1,200 @@
+//! Environmental accounting: water usage and vapor management
+//! (Section IV, "Environmental impact" / Takeaway 4).
+//!
+//! The paper projects that 2PIC's Water Usage Effectiveness (WUE) is on
+//! par with evaporative-cooled datacenters, and notes that the two fluids
+//! used have high global-warming potential, so tanks are sealed and vapor
+//! traps capture losses during load swings and servicing.
+
+use crate::fluid::DielectricFluid;
+use serde::{Deserialize, Serialize};
+
+/// Water Usage Effectiveness: litres of water per kWh of IT energy.
+///
+/// # Example
+///
+/// ```
+/// use ic_thermal::environment::WaterUsage;
+///
+/// let evap = WaterUsage::evaporative();
+/// let tpic = WaterUsage::two_phase_immersion();
+/// // The paper projects WUE "at par" with evaporative cooling.
+/// assert!((tpic.wue_l_per_kwh() - evap.wue_l_per_kwh()).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaterUsage {
+    wue_l_per_kwh: f64,
+}
+
+impl WaterUsage {
+    /// Typical evaporative-cooled hyperscale WUE (~1.8 L/kWh, industry
+    /// published range 1.5–2.0).
+    pub fn evaporative() -> Self {
+        WaterUsage { wue_l_per_kwh: 1.8 }
+    }
+
+    /// The paper's simulated 2PIC WUE: at par with evaporative cooling
+    /// (the condenser loop ultimately rejects heat through a dry cooler,
+    /// with trim evaporation on the hottest days).
+    pub fn two_phase_immersion() -> Self {
+        WaterUsage { wue_l_per_kwh: 1.8 }
+    }
+
+    /// A custom WUE value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wue` is negative or non-finite.
+    pub fn custom(wue: f64) -> Self {
+        assert!(wue.is_finite() && wue >= 0.0, "invalid WUE {wue}");
+        WaterUsage { wue_l_per_kwh: wue }
+    }
+
+    /// Litres of water per kWh of IT energy.
+    pub fn wue_l_per_kwh(&self) -> f64 {
+        self.wue_l_per_kwh
+    }
+
+    /// Total litres consumed for `it_energy_kwh` of IT energy.
+    pub fn water_l(&self, it_energy_kwh: f64) -> f64 {
+        assert!(it_energy_kwh >= 0.0, "invalid energy");
+        self.wue_l_per_kwh * it_energy_kwh
+    }
+}
+
+/// Tracks dielectric-fluid vapor losses across tank-opening events.
+///
+/// While the tank is sealed no fluid escapes; each servicing event or
+/// large load swing vents a small mass, of which the mechanical/chemical
+/// traps recapture a configurable fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VaporBudget {
+    fluid: DielectricFluid,
+    initial_charge_kg: f64,
+    lost_kg: f64,
+    trap_efficiency: f64,
+    events: u32,
+}
+
+impl VaporBudget {
+    /// Creates a budget for a tank charged with `initial_charge_kg` of
+    /// fluid, protected by traps that recapture `trap_efficiency` of any
+    /// vented vapor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the charge is not positive or the efficiency is outside
+    /// `[0, 1]`.
+    pub fn new(fluid: DielectricFluid, initial_charge_kg: f64, trap_efficiency: f64) -> Self {
+        assert!(
+            initial_charge_kg > 0.0 && initial_charge_kg.is_finite(),
+            "invalid charge {initial_charge_kg}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&trap_efficiency),
+            "trap efficiency {trap_efficiency} outside [0, 1]"
+        );
+        VaporBudget {
+            fluid,
+            initial_charge_kg,
+            lost_kg: 0.0,
+            trap_efficiency,
+            events: 0,
+        }
+    }
+
+    /// Records a tank-opening event (servicing) or large load swing that
+    /// would vent `vented_kg` of vapor before trapping. Returns the mass
+    /// actually lost to atmosphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vented_kg` is negative or non-finite.
+    pub fn record_venting_event(&mut self, vented_kg: f64) -> f64 {
+        assert!(
+            vented_kg.is_finite() && vented_kg >= 0.0,
+            "invalid vented mass {vented_kg}"
+        );
+        let escaped = vented_kg * (1.0 - self.trap_efficiency);
+        self.lost_kg += escaped;
+        self.events += 1;
+        escaped
+    }
+
+    /// Total mass lost to atmosphere so far, kg.
+    pub fn lost_kg(&self) -> f64 {
+        self.lost_kg
+    }
+
+    /// Remaining fluid charge, kg (never negative).
+    pub fn remaining_kg(&self) -> f64 {
+        (self.initial_charge_kg - self.lost_kg).max(0.0)
+    }
+
+    /// The fraction of the initial charge lost.
+    pub fn loss_fraction(&self) -> f64 {
+        self.lost_kg / self.initial_charge_kg
+    }
+
+    /// The number of venting events recorded.
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The fluid being tracked.
+    pub fn fluid(&self) -> &DielectricFluid {
+        &self.fluid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wue_on_par_with_evaporative() {
+        assert_eq!(
+            WaterUsage::two_phase_immersion().wue_l_per_kwh(),
+            WaterUsage::evaporative().wue_l_per_kwh()
+        );
+    }
+
+    #[test]
+    fn water_scales_with_energy() {
+        let w = WaterUsage::custom(2.0);
+        assert_eq!(w.water_l(100.0), 200.0);
+        assert_eq!(w.water_l(0.0), 0.0);
+    }
+
+    #[test]
+    fn traps_capture_most_vapor() {
+        let mut budget = VaporBudget::new(DielectricFluid::fc3284(), 500.0, 0.95);
+        let escaped = budget.record_venting_event(2.0);
+        assert!((escaped - 0.1).abs() < 1e-12);
+        assert_eq!(budget.events(), 1);
+        assert!((budget.remaining_kg() - 499.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn losses_accumulate_and_fraction_tracks() {
+        let mut budget = VaporBudget::new(DielectricFluid::hfe7000(), 100.0, 0.5);
+        for _ in 0..10 {
+            budget.record_venting_event(1.0);
+        }
+        assert!((budget.lost_kg() - 5.0).abs() < 1e-12);
+        assert!((budget.loss_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_never_negative() {
+        let mut budget = VaporBudget::new(DielectricFluid::fc3284(), 1.0, 0.0);
+        budget.record_venting_event(5.0);
+        assert_eq!(budget.remaining_kg(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trap efficiency")]
+    fn bad_trap_efficiency_panics() {
+        let _ = VaporBudget::new(DielectricFluid::fc3284(), 1.0, 1.5);
+    }
+}

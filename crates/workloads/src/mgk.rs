@@ -1,0 +1,492 @@
+//! The executable Client-Server application: an M/G/k queue running on
+//! the discrete-event engine.
+//!
+//! This is the workload of the paper's auto-scaling study (Section VI-D):
+//! "client request arrivals are Markovian, the service times follow a
+//! General distribution, and there are k servers (i.e., VMs)". Clients
+//! send requests to a round-robin load balancer; each server VM runs
+//! them on its virtual cores; completed requests record their sojourn
+//! latency. The controlling system (the auto-scaler, or a test) owns the
+//! clock: it calls [`ClientServerSim::advance_to`], then reads VM
+//! telemetry (Aperf/Pperf counter samples, utilization) and issues
+//! actions (add/remove VMs, change frequency ratios) exactly as the
+//! paper's ASC does every 3 seconds.
+
+use ic_sim::dist::{Dist, LogNormal};
+use ic_sim::engine::Engine;
+use ic_sim::rng::SimRng;
+use ic_sim::time::{SimDuration, SimTime};
+use ic_telemetry::counters::{CoreCounters, CounterSample};
+use std::collections::VecDeque;
+
+/// Identifies a VM within the simulation.
+pub type VmId = usize;
+
+/// The reference core frequency in Hz that a frequency ratio of 1.0
+/// corresponds to (config B2, 3.4 GHz).
+pub const BASE_FREQ_HZ: f64 = 3.4e9;
+
+#[derive(Debug)]
+struct VmState {
+    vcores: u32,
+    /// Service-speed multiplier from frequency scaling (1.0 = B2).
+    freq_ratio: f64,
+    /// Service-speed multiplier from pcore oversubscription share.
+    share: f64,
+    /// Fraction of active cycles stalled (from the app profile).
+    stall_fraction: f64,
+    queue: VecDeque<Arrival>,
+    busy: u32,
+    counters: CoreCounters,
+    active: bool,
+    /// Completions recorded by this VM (for VM×hours style accounting).
+    completed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    at: SimTime,
+    /// Service demand in seconds at frequency ratio 1.0 and full share.
+    demand_s: f64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rng: SimRng,
+    service: LogNormal,
+    qps: f64,
+    arrival_chain_live: bool,
+    vms: Vec<VmState>,
+    rr_next: usize,
+    completed: Vec<(SimTime, f64)>,
+    dropped: u64,
+    vcores_per_vm: u32,
+    default_stall_fraction: f64,
+}
+
+impl Inner {
+    fn active_vm_ids(&self) -> Vec<VmId> {
+        (0..self.vms.len()).filter(|&i| self.vms[i].active).collect()
+    }
+
+    fn route(&mut self) -> Option<VmId> {
+        let active = self.active_vm_ids();
+        if active.is_empty() {
+            return None;
+        }
+        let id = active[self.rr_next % active.len()];
+        self.rr_next = (self.rr_next + 1) % active.len().max(1);
+        Some(id)
+    }
+}
+
+/// The Client-Server M/G/k simulation.
+///
+/// # Example
+///
+/// ```
+/// use ic_workloads::mgk::ClientServerSim;
+/// use ic_sim::time::SimTime;
+///
+/// let mut sim = ClientServerSim::new(42, 0.0028, 1.5, 4, 0.15);
+/// let vm = sim.add_vm();
+/// sim.set_qps(500.0);
+/// sim.advance_to(SimTime::from_secs(30));
+/// let util = sim.utilization_since(vm, &sim.sample(vm));
+/// assert_eq!(util, 0.0); // a fresh sample spans no time
+/// assert!(sim.completed_requests() > 10_000);
+/// ```
+#[derive(Debug)]
+pub struct ClientServerSim {
+    engine: Engine<Inner>,
+    inner: Inner,
+}
+
+impl ClientServerSim {
+    /// Creates a simulation.
+    ///
+    /// * `seed` — RNG seed (identical seeds replay identical arrivals).
+    /// * `service_mean_s` — mean per-request core demand at frequency
+    ///   ratio 1.0 (config B2), seconds.
+    /// * `service_scv` — squared coefficient of variation of the service
+    ///   law (lognormal).
+    /// * `vcores_per_vm` — virtual cores per server VM (the paper's
+    ///   Client-Server app uses 4).
+    /// * `stall_fraction` — share of active cycles stalled, for the
+    ///   Aperf/Pperf counters (the Client-Server profile is ~0.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service parameters are non-positive or
+    /// `vcores_per_vm` is zero.
+    pub fn new(
+        seed: u64,
+        service_mean_s: f64,
+        service_scv: f64,
+        vcores_per_vm: u32,
+        stall_fraction: f64,
+    ) -> Self {
+        assert!(vcores_per_vm > 0, "VMs need at least one vcore");
+        ClientServerSim {
+            engine: Engine::new(),
+            inner: Inner {
+                rng: SimRng::seed_from_u64(seed),
+                service: LogNormal::with_mean_scv(service_mean_s, service_scv),
+                qps: 0.0,
+                arrival_chain_live: false,
+                vms: Vec::new(),
+                rr_next: 0,
+                completed: Vec::new(),
+                dropped: 0,
+                vcores_per_vm,
+                default_stall_fraction: stall_fraction.clamp(0.0, 1.0),
+            },
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Adds a server VM, immediately active. (Model VM-creation latency
+    /// by calling this when the creation completes.)
+    pub fn add_vm(&mut self) -> VmId {
+        let id = self.inner.vms.len();
+        self.inner.vms.push(VmState {
+            vcores: self.inner.vcores_per_vm,
+            freq_ratio: 1.0,
+            share: 1.0,
+            stall_fraction: self.inner.default_stall_fraction,
+            queue: VecDeque::new(),
+            busy: 0,
+            counters: CoreCounters::new(),
+            active: true,
+            completed: 0,
+        });
+        id
+    }
+
+    /// Deactivates a VM: it stops receiving new requests and drains its
+    /// queue. Returns `false` if the VM was already inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a valid VM.
+    pub fn remove_vm(&mut self, id: VmId) -> bool {
+        let was_active = self.inner.vms[id].active;
+        self.inner.vms[id].active = false;
+        was_active
+    }
+
+    /// The ids of currently active VMs.
+    pub fn active_vms(&self) -> Vec<VmId> {
+        self.inner.active_vm_ids()
+    }
+
+    /// Sets the client load in queries per second. `0.0` stops arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is negative or non-finite.
+    pub fn set_qps(&mut self, qps: f64) {
+        assert!(qps.is_finite() && qps >= 0.0, "invalid QPS {qps}");
+        let was_off = self.inner.qps == 0.0 || !self.inner.arrival_chain_live;
+        self.inner.qps = qps;
+        if qps > 0.0 && was_off {
+            self.inner.arrival_chain_live = true;
+            let delay = next_interarrival(&mut self.inner.rng, qps);
+            self.engine.schedule_in(delay, arrival_event);
+        }
+    }
+
+    /// Sets a VM's frequency ratio (service-speed multiplier vs B2).
+    /// Takes effect for requests dispatched after the call — frequency
+    /// transitions take tens of µs on real hardware \[43\], far below the
+    /// 3 s control period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not strictly positive or `id` is invalid.
+    pub fn set_freq_ratio(&mut self, id: VmId, ratio: f64) {
+        assert!(ratio > 0.0 && ratio.is_finite(), "invalid ratio {ratio}");
+        self.inner.vms[id].freq_ratio = ratio;
+    }
+
+    /// A VM's current frequency ratio.
+    pub fn freq_ratio(&self, id: VmId) -> f64 {
+        self.inner.vms[id].freq_ratio
+    }
+
+    /// Sets a VM's pcore share (oversubscription slowdown), in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is outside `(0, 1]`.
+    pub fn set_share(&mut self, id: VmId, share: f64) {
+        assert!(share > 0.0 && share <= 1.0, "invalid share {share}");
+        self.inner.vms[id].share = share;
+    }
+
+    /// Runs the simulation up to `t`.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.engine.run_until(&mut self.inner, t);
+    }
+
+    /// Snapshots a VM's aggregate Aperf/Pperf counters at the current
+    /// time. Use [`ic_telemetry::counters::CounterSample::since`] between
+    /// two snapshots.
+    pub fn sample(&self, id: VmId) -> CounterSample {
+        self.inner.vms[id]
+            .counters
+            .sample(self.now().as_secs_f64())
+    }
+
+    /// Busy-core utilization of a VM since an `earlier` snapshot, in
+    /// `[0, 1]` (busy core-seconds over `vcores × wall`). Returns 0 for
+    /// a zero-length interval.
+    pub fn utilization_since(&self, id: VmId, earlier: &CounterSample) -> f64 {
+        let delta = self.sample(id).since(earlier);
+        let wall = delta.d_wall_seconds();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        (delta.d_busy_seconds() / (self.inner.vms[id].vcores as f64 * wall)).clamp(0.0, 1.0)
+    }
+
+    /// Takes all request completions recorded since the last call:
+    /// `(completion time, sojourn latency seconds)`.
+    pub fn take_completions(&mut self) -> Vec<(SimTime, f64)> {
+        std::mem::take(&mut self.inner.completed)
+    }
+
+    /// Total requests completed since the start of the run.
+    pub fn completed_requests(&self) -> u64 {
+        self.inner.vms.iter().map(|v| v.completed).sum()
+    }
+
+    /// Requests dropped because no VM was active.
+    pub fn dropped_requests(&self) -> u64 {
+        self.inner.dropped
+    }
+
+    /// The number of requests queued (not yet in service) at a VM.
+    pub fn queue_depth(&self, id: VmId) -> usize {
+        self.inner.vms[id].queue.len()
+    }
+
+    /// The number of virtual cores a VM has.
+    pub fn vcores(&self, id: VmId) -> u32 {
+        self.inner.vms[id].vcores
+    }
+
+    /// The number of in-service requests at a VM.
+    pub fn in_service(&self, id: VmId) -> u32 {
+        self.inner.vms[id].busy
+    }
+}
+
+fn next_interarrival(rng: &mut SimRng, qps: f64) -> SimDuration {
+    let gap = -(1.0 - rng.uniform()).ln() / qps;
+    SimDuration::from_secs_f64(gap.max(1e-9))
+}
+
+fn arrival_event(inner: &mut Inner, engine: &mut Engine<Inner>) {
+    if inner.qps <= 0.0 {
+        inner.arrival_chain_live = false;
+        return;
+    }
+    let now = engine.now();
+    let demand_s = inner.service.sample(&mut inner.rng);
+    match inner.route() {
+        Some(vm_id) => {
+            let vm = &mut inner.vms[vm_id];
+            vm.queue.push_back(Arrival {
+                at: now,
+                demand_s,
+            });
+            try_dispatch(inner, engine, vm_id);
+        }
+        None => inner.dropped += 1,
+    }
+    // Schedule the next arrival.
+    let delay = next_interarrival(&mut inner.rng, inner.qps);
+    engine.schedule_in(delay, arrival_event);
+}
+
+fn try_dispatch(inner: &mut Inner, engine: &mut Engine<Inner>, vm_id: VmId) {
+    let vm = &mut inner.vms[vm_id];
+    while vm.busy < vm.vcores {
+        let Some(req) = vm.queue.pop_front() else {
+            return;
+        };
+        vm.busy += 1;
+        let speed = vm.freq_ratio * vm.share;
+        let service_s = req.demand_s / speed;
+        let arrival_at = req.at;
+        let freq_hz = BASE_FREQ_HZ * vm.freq_ratio;
+        let stall = vm.stall_fraction;
+        engine.schedule_in(
+            SimDuration::from_secs_f64(service_s),
+            move |inner: &mut Inner, engine: &mut Engine<Inner>| {
+                let now = engine.now();
+                let vm = &mut inner.vms[vm_id];
+                vm.busy -= 1;
+                vm.completed += 1;
+                vm.counters.advance(service_s, freq_hz, stall);
+                let latency = (now - arrival_at).as_secs_f64();
+                inner.completed.push((now, latency));
+                try_dispatch(inner, engine, vm_id);
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_sim::stats::Tally;
+
+    fn p95(completions: &[(SimTime, f64)]) -> f64 {
+        let mut t: Tally = completions.iter().map(|&(_, l)| l).collect();
+        t.percentile(0.95)
+    }
+
+    #[test]
+    fn throughput_matches_offered_load() {
+        let mut sim = ClientServerSim::new(1, 0.001, 1.0, 4, 0.1);
+        sim.add_vm();
+        sim.set_qps(1000.0);
+        sim.advance_to(SimTime::from_secs(100));
+        let done = sim.completed_requests() as f64;
+        assert!((done - 100_000.0).abs() / 100_000.0 < 0.02, "done = {done}");
+        assert_eq!(sim.dropped_requests(), 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = ClientServerSim::new(7, 0.002, 1.5, 4, 0.1);
+            sim.add_vm();
+            sim.set_qps(800.0);
+            sim.advance_to(SimTime::from_secs(50));
+            (sim.completed_requests(), p95(&sim.take_completions()))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let mut sim = ClientServerSim::new(3, 0.0028, 1.5, 4, 0.1);
+        let vm = sim.add_vm();
+        sim.set_qps(500.0);
+        let before = sim.sample(vm);
+        sim.advance_to(SimTime::from_secs(120));
+        // Offered core utilization: 500 × 0.0028 / 4 = 0.35 of the VM.
+        let util = sim.utilization_since(vm, &before);
+        let expected = 500.0 * 0.0028 / 4.0;
+        assert!(
+            (util - expected).abs() / expected < 0.05,
+            "util {util} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn overclocking_reduces_latency() {
+        let run = |ratio: f64| {
+            let mut sim = ClientServerSim::new(11, 0.0028, 1.5, 4, 0.1);
+            let vm = sim.add_vm();
+            sim.set_freq_ratio(vm, ratio);
+            sim.set_qps(1200.0);
+            sim.advance_to(SimTime::from_secs(120));
+            p95(&sim.take_completions())
+        };
+        let base = run(1.0);
+        let oc = run(4.1 / 3.4);
+        assert!(oc < base, "OC p95 {oc} should beat base {base}");
+        assert!(oc < base * 0.92, "expect a tangible improvement");
+    }
+
+    #[test]
+    fn oversubscription_share_slows_service() {
+        let run = |share: f64| {
+            let mut sim = ClientServerSim::new(13, 0.0028, 1.5, 4, 0.1);
+            let vm = sim.add_vm();
+            sim.set_share(vm, share);
+            sim.set_qps(600.0);
+            sim.advance_to(SimTime::from_secs(60));
+            p95(&sim.take_completions())
+        };
+        assert!(run(0.75) > run(1.0));
+    }
+
+    #[test]
+    fn adding_vms_reduces_latency_under_heavy_load() {
+        let run = |vms: usize| {
+            let mut sim = ClientServerSim::new(17, 0.0028, 1.5, 4, 0.1);
+            for _ in 0..vms {
+                sim.add_vm();
+            }
+            sim.set_qps(2500.0);
+            sim.advance_to(SimTime::from_secs(60));
+            p95(&sim.take_completions())
+        };
+        assert!(run(4) < run(2));
+    }
+
+    #[test]
+    fn removed_vm_stops_receiving_but_drains() {
+        let mut sim = ClientServerSim::new(19, 0.01, 1.0, 2, 0.1);
+        let a = sim.add_vm();
+        let b = sim.add_vm();
+        sim.set_qps(300.0);
+        sim.advance_to(SimTime::from_secs(10));
+        assert!(sim.remove_vm(b));
+        assert!(!sim.remove_vm(b), "second removal reports inactive");
+        sim.advance_to(SimTime::from_secs(30));
+        // Everything eventually lands on the surviving VM.
+        assert_eq!(sim.active_vms(), vec![a]);
+        sim.set_qps(0.0);
+        sim.advance_to(SimTime::from_secs(40));
+        assert_eq!(sim.queue_depth(b), 0);
+        assert_eq!(sim.in_service(b), 0);
+    }
+
+    #[test]
+    fn no_vms_drops_requests() {
+        let mut sim = ClientServerSim::new(23, 0.001, 1.0, 4, 0.1);
+        sim.set_qps(100.0);
+        sim.advance_to(SimTime::from_secs(10));
+        assert!(sim.dropped_requests() > 900);
+        assert_eq!(sim.completed_requests(), 0);
+    }
+
+    #[test]
+    fn qps_zero_stops_arrivals() {
+        let mut sim = ClientServerSim::new(29, 0.001, 1.0, 4, 0.1);
+        sim.add_vm();
+        sim.set_qps(100.0);
+        sim.advance_to(SimTime::from_secs(10));
+        let done = sim.completed_requests();
+        sim.set_qps(0.0);
+        sim.advance_to(SimTime::from_secs(30));
+        let after = sim.completed_requests();
+        // Only in-flight work completes after arrivals stop.
+        assert!(after - done < 10, "{after} vs {done}");
+        // And it can restart.
+        sim.set_qps(100.0);
+        sim.advance_to(SimTime::from_secs(40));
+        assert!(sim.completed_requests() > after + 500);
+    }
+
+    #[test]
+    fn counters_report_stall_fraction() {
+        let mut sim = ClientServerSim::new(31, 0.002, 1.0, 4, 0.25);
+        let vm = sim.add_vm();
+        sim.set_qps(400.0);
+        let before = sim.sample(vm);
+        sim.advance_to(SimTime::from_secs(60));
+        let delta = sim.sample(vm).since(&before);
+        assert!((delta.productivity() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Overclocking-enhanced auto-scaling: compares the three policies of
+//! the paper's Section VI-D on a load ramp and prints a Table XI-style
+//! summary.
+//!
+//! ```sh
+//! cargo run --release --example autoscaling
+//! ```
+
+use immersion_cloud::autoscale::policy::Policy;
+use immersion_cloud::autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
+
+fn main() {
+    println!("== overclocking-enhanced auto-scaling ==\n");
+    // A shortened ramp (500 -> 2500 QPS) for an interactive run; use
+    // RunnerConfig::paper() for the full Table XI experiment.
+    let mut config = RunnerConfig::paper();
+    config.schedule = ramp_schedule(500.0, 2500.0, 500.0, 300.0);
+
+    println!(
+        "Client-Server workload: {} vcores/VM, {:.1} ms mean demand, ramp to 2500 QPS\n",
+        config.vcores_per_vm,
+        config.service_mean_s * 1e3
+    );
+
+    let results: Vec<_> = [Policy::Baseline, Policy::OcE, Policy::OcA]
+        .into_iter()
+        .map(|policy| Runner::new(config.clone(), policy, 42).run())
+        .collect();
+    let base_p95 = results[0].p95_latency_s;
+    let base_avg = results[0].avg_latency_s;
+
+    println!(
+        "{:10} {:>9} {:>9} {:>8} {:>9} {:>9} {:>10}",
+        "Config", "NormP95", "NormAvg", "MaxVMs", "VMxHours", "AvgPower", "Completed"
+    );
+    for r in &results {
+        println!(
+            "{:10} {:>9.2} {:>9.2} {:>8} {:>9.2} {:>8.1}W {:>10}",
+            r.policy,
+            r.p95_latency_s / base_p95,
+            r.avg_latency_s / base_avg,
+            r.max_vms,
+            r.vm_hours,
+            r.avg_power_w,
+            r.completed
+        );
+    }
+
+    println!("\nUtilization at five-minute marks (percent):");
+    print!("{:>8}", "t");
+    for r in &results {
+        print!("{:>10}", r.policy);
+    }
+    println!();
+    let marks: Vec<_> = (0..=5)
+        .map(|i| immersion_cloud::sim::SimTime::from_secs(i * 300))
+        .collect();
+    for t in marks {
+        print!("{:>7}s", t.as_secs_f64() as u64);
+        for r in &results {
+            match r.utilization.value_at(t) {
+                Some(v) => print!("{v:>9.1}%"),
+                None => print!("{:>10}", "-"),
+            }
+        }
+        println!();
+    }
+}

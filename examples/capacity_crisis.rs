@@ -1,0 +1,58 @@
+//! Capacity-crisis mitigation (paper Section V, Figure 7): bridging a
+//! supply/demand gap with overclock-backed oversubscription until new
+//! servers land.
+//!
+//! ```sh
+//! cargo run --example capacity_crisis
+//! ```
+
+use immersion_cloud::core::usecases::capacity::{CapacitySnapshot, CapacityTimeline};
+
+fn main() {
+    println!("== capacity-crisis mitigation ==\n");
+
+    // A year of quarters: demand grows faster than forecast while a new
+    // building slips two quarters.
+    let timeline = CapacityTimeline::new(vec![
+        CapacitySnapshot { demand_vcores: 80_000.0, supply_vcores: 100_000.0 },
+        CapacitySnapshot { demand_vcores: 105_000.0, supply_vcores: 100_000.0 },
+        CapacitySnapshot { demand_vcores: 118_000.0, supply_vcores: 100_000.0 },
+        CapacitySnapshot { demand_vcores: 126_000.0, supply_vcores: 150_000.0 },
+    ]);
+
+    let headroom = 1.22; // overclocking compensates up to 22 % oversubscription
+    let memory_cap = 1.15; // stranded memory covers 15 % more VMs
+
+    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "Quarter", "Demand", "Supply", "Gap", "Bridged?");
+    for (i, p) in timeline.periods().iter().enumerate() {
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>10.0} {:>10}",
+            format!("Q{}", i + 1),
+            p.demand_vcores,
+            p.supply_vcores,
+            p.gap_vcores(),
+            if p.gap_vcores() == 0.0 {
+                "-"
+            } else if p.bridged_by(headroom, memory_cap) {
+                "yes"
+            } else {
+                "partly"
+            }
+        );
+    }
+
+    println!(
+        "\nCrisis quarters: {} of {}",
+        timeline.crisis_periods(),
+        timeline.periods().len()
+    );
+    println!(
+        "Quarters fully bridged by overclocking: {}",
+        timeline.bridged_periods(headroom, memory_cap)
+    );
+    let (without, with) = timeline.denied_vcore_periods(headroom, memory_cap);
+    println!(
+        "Denied vcore-quarters: {without:.0} without overclocking, {with:.0} with ({:.0}% reduction)",
+        (1.0 - with / without.max(1e-9)) * 100.0
+    );
+}

@@ -1,0 +1,91 @@
+//! Dense VM packing via oversubscription + overclocking, with its TCO
+//! impact (paper Sections V and VI-C).
+//!
+//! ```sh
+//! cargo run --example dense_packing
+//! ```
+
+use immersion_cloud::cluster::cluster::Cluster;
+use immersion_cloud::cluster::placement::{Oversubscription, PlacementPolicy};
+use immersion_cloud::cluster::server::ServerSpec;
+use immersion_cloud::cluster::vm::VmSpec;
+use immersion_cloud::core::usecases::packing::{max_neutral_ratio, plan_packing};
+use immersion_cloud::power::units::Frequency;
+use immersion_cloud::tco::{CoolingScenario, TcoModel};
+
+fn main() {
+    println!("== dense VM packing via overclocking ==\n");
+
+    // 1. How much oversubscription can overclocking compensate?
+    let base = Frequency::from_ghz(3.4);
+    let green_top = Frequency::from_ghz(4.1);
+    println!(
+        "Green-band headroom: {:.0}% over base",
+        (max_neutral_ratio(base, green_top) - 1.0) * 100.0
+    );
+    let plan = plan_packing(base, green_top, 1.20).expect("within headroom");
+    println!(
+        "Plan: sell {:.0}% more vcores, compensate at {}\n",
+        (plan.oversubscription.as_ratio() - 1.0) * 100.0,
+        plan.compensating_frequency
+    );
+
+    // 2. Pack a small fleet both ways and compare density.
+    let fleet = || {
+        Cluster::new(
+            vec![ServerSpec::open_compute(); 10],
+            PlacementPolicy::BestFit,
+            Oversubscription::none(),
+        )
+    };
+    let vm = VmSpec::new(4, 16.0);
+
+    let mut plain = fleet();
+    let n_plain = plain.fill_with(vm).len();
+
+    let mut dense = fleet();
+    dense.set_oversubscription(plan.oversubscription);
+    let n_dense = dense.fill_with(vm).len();
+    for i in 0..dense.servers().len() {
+        dense
+            .server_mut(i)
+            .expect("server exists")
+            .set_frequency(plan.compensating_frequency);
+    }
+
+    println!("10 × 48-core servers, 4-vcore VMs:");
+    println!(
+        "  1:1 packing      : {:3} VMs (density {:.2})",
+        n_plain,
+        plain.packing_density()
+    );
+    println!(
+        "  overclock-backed : {:3} VMs (density {:.2}) -> +{:.0}% VMs",
+        n_dense,
+        dense.packing_density(),
+        (n_dense as f64 / n_plain as f64 - 1.0) * 100.0
+    );
+
+    // 3. The SLO view of the same trade (the generalized Figure 12):
+    //    cores needed to hold a P95 target, base vs overclocked.
+    use immersion_cloud::workloads::slo::{reclaimed_capacity, LatencySlo};
+    let slo = LatencySlo::new(0.95, 0.034);
+    if let Some((base_cores, oc_cores)) =
+        reclaimed_capacity(1150.0, 0.010, 1.5, slo, 1.206, 64)
+    {
+        println!(
+            "\nHolding a 34 ms P95 at 1150 QPS: {base_cores} cores at B2 vs {oc_cores} overclocked \
+             ({} cores reclaimed)",
+            base_cores - oc_cores
+        );
+    }
+
+    // 4. The TCO story (Table VI + Section VI-C).
+    let tco = TcoModel::paper();
+    println!("\n{}", tco.render_table6());
+    let vcore = tco.cost_per_vcore_relative(CoolingScenario::Overclockable2pic, 1.10);
+    println!(
+        "Cost per virtual core at 10% oversubscription: {:.0}% vs air baseline",
+        (vcore - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Virtual failover buffers (paper Section V, Figure 6): run VMs on all
+//! capacity, inject a server failure, and absorb it by overclocking the
+//! survivors.
+//!
+//! ```sh
+//! cargo run --example failover_buffer
+//! ```
+
+use immersion_cloud::cluster::cluster::Cluster;
+use immersion_cloud::cluster::placement::{Oversubscription, PlacementPolicy};
+use immersion_cloud::cluster::server::ServerSpec;
+use immersion_cloud::cluster::vm::VmSpec;
+use immersion_cloud::core::usecases::buffer::{
+    absorb_failure, static_buffer_servers, virtual_buffer_servers,
+};
+use immersion_cloud::power::units::Frequency;
+
+fn main() {
+    println!("== virtual failover buffers ==\n");
+
+    // 1. Buffer sizing: static vs virtual.
+    let fleet = 24;
+    let tolerated = 2;
+    let headroom = 1.22; // green band of the immersed Open Compute blades
+    println!("Fleet of {fleet} servers, tolerating {tolerated} concurrent failures:");
+    println!(
+        "  static buffer : {} idle spare servers",
+        static_buffer_servers(tolerated)
+    );
+    println!(
+        "  virtual buffer: {} spares (survivors overclock x{headroom})\n",
+        virtual_buffer_servers(fleet, tolerated, headroom)
+    );
+
+    // 2. Inject a failure and watch the absorption.
+    let mut cluster = Cluster::new(
+        vec![ServerSpec::open_compute(); 8],
+        PlacementPolicy::WorstFit,
+        Oversubscription::ratio(1.22),
+    );
+    for _ in 0..20 {
+        cluster
+            .create_vm(VmSpec::new(12, 48.0))
+            .expect("fleet has room");
+    }
+    println!(
+        "Before failure: {} VMs on 8 servers (density {:.2})",
+        cluster.vm_count(),
+        cluster.packing_density()
+    );
+
+    let report = absorb_failure(&mut cluster, 2, Frequency::from_ghz(3.3))
+        .expect("server index is valid");
+    println!("\nServer 2 failed!");
+    println!(
+        "  re-created {} VMs on survivors, {} unplaced",
+        report.failover.recreated.len(),
+        report.failover.unplaced.len()
+    );
+    println!(
+        "  survivors boosted to {} (residual capacity deficit {:.0}%)",
+        report.boosted_frequency,
+        report.residual_deficit * 100.0
+    );
+    println!(
+        "  after failure: {} VMs on {} healthy servers (density {:.2})",
+        cluster.vm_count(),
+        cluster.servers().iter().filter(|s| !s.is_failed()).count(),
+        cluster.packing_density()
+    );
+}

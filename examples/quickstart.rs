@@ -1,0 +1,82 @@
+//! Quickstart: immerse a server, characterize overclocking, and ask the
+//! governor for a safe frequency.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use immersion_cloud::core::governor::{GovernorConfig, OverclockGovernor};
+use immersion_cloud::power::cpu::CpuSku;
+use immersion_cloud::power::units::Frequency;
+use immersion_cloud::reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
+use immersion_cloud::reliability::stability::StabilityModel;
+use immersion_cloud::thermal::fluid::DielectricFluid;
+use immersion_cloud::thermal::junction::ThermalInterface;
+use immersion_cloud::thermal::tank::TankPrototype;
+
+fn main() {
+    println!("== immersion-cloud quickstart ==\n");
+
+    // 1. A two-phase immersion tank and an air-cooled baseline.
+    let tank = TankPrototype::small_tank_1();
+    println!(
+        "Tank: {} filled with {}",
+        tank.name(),
+        tank.fluid()
+    );
+    let air = ThermalInterface::air(35.0, 12.1, 0.21);
+    let immersed = tank.interface(0.084, 0.0);
+
+    // 2. Thermal headroom: the same socket runs ~20+ °C cooler immersed.
+    let sku = CpuSku::skylake_8180();
+    let ss_air = sku.steady_state(&air, sku.air_turbo(), sku.nominal_voltage());
+    let ss_tank = sku.steady_state(&immersed, sku.air_turbo(), sku.nominal_voltage());
+    println!(
+        "\n{} at all-core turbo ({}):",
+        sku.name(),
+        sku.air_turbo()
+    );
+    println!(
+        "  air : {:6.1} W, junction {:5.1} °C",
+        ss_air.power_w, ss_air.tj_c
+    );
+    println!(
+        "  2PIC: {:6.1} W, junction {:5.1} °C  (leakage saving {:.1} W)",
+        ss_tank.power_w,
+        ss_tank.tj_c,
+        ss_air.static_w - ss_tank.static_w
+    );
+
+    // 3. Lifetime: what does overclocking cost, per cooling medium?
+    let model = CompositeLifetimeModel::fitted_5nm();
+    println!("\nProjected lifetimes (Table V conditions):");
+    for (label, cond) in [
+        ("air, nominal     ", OperatingConditions::new(0.90, 85.0, 20.0)),
+        ("air, overclocked ", OperatingConditions::new(0.98, 101.0, 20.0)),
+        ("HFE-7000, nominal", OperatingConditions::new(0.90, 51.0, 35.0)),
+        ("HFE-7000, OC     ", OperatingConditions::new(0.98, 60.0, 35.0)),
+    ] {
+        println!("  {label}: {:5.1} years", model.lifetime_years(&cond));
+    }
+
+    // 4. The governor intersects stability, lifetime, and power budgets.
+    let governor = OverclockGovernor::new(
+        CpuSku::skylake_8180(),
+        ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+        CompositeLifetimeModel::fitted_5nm(),
+        StabilityModel::paper_characterization(),
+        GovernorConfig::default(),
+    );
+    let request = Frequency::from_ghz(3.4);
+    for budget_w in [305.0, 205.0, 150.0] {
+        let d = governor.decide(request, budget_w);
+        println!(
+            "\nRequest {request} with a {budget_w:.0} W budget -> grant {} (bound by {:?})",
+            d.frequency, d.binding
+        );
+        println!(
+            "  ceilings: stability {}, lifetime {}, power {}",
+            d.stability_ceiling, d.lifetime_ceiling, d.power_ceiling
+        );
+    }
+}

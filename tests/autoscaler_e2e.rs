@@ -1,0 +1,133 @@
+//! End-to-end auto-scaler experiments: the Figure 15 model validation
+//! and a shortened Table XI comparison (the full 45-minute ramp runs in
+//! the bench harness).
+
+use immersion_cloud::autoscale::policy::Policy;
+use immersion_cloud::autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
+use immersion_cloud::sim::SimTime;
+
+fn short_config() -> RunnerConfig {
+    let mut cfg = RunnerConfig::paper();
+    cfg.schedule = ramp_schedule(500.0, 2500.0, 500.0, 300.0);
+    cfg
+}
+
+#[test]
+fn figure15_model_validation() {
+    // Scale-up/down only (3 fixed VMs) through the 1000/2000/500/3000/
+    // 1000 QPS schedule: every frequency increase must lower
+    // utilization, and the frequency must track the load shape.
+    let result = Runner::new(RunnerConfig::validation(), Policy::OcA, 42).run();
+
+    // VM count pinned to 3 throughout.
+    assert_eq!(result.max_vms, 3);
+    assert!(result
+        .vm_count
+        .points()
+        .iter()
+        .all(|&(_, v)| (v - 3.0).abs() < 1e-9));
+
+    // During the 2000-QPS phase (t in [300, 600)) the auto-scaler
+    // overclocks; during the 500-QPS phase (t in [600, 900)) it returns
+    // to base frequency.
+    let f_high = result
+        .frequency_pct
+        .value_at(SimTime::from_secs(550))
+        .unwrap();
+    let f_low = result
+        .frequency_pct
+        .value_at(SimTime::from_secs(880))
+        .unwrap();
+    assert!(f_high > 50.0, "should overclock under 2000 QPS: {f_high}%");
+    assert!(f_low < 10.0, "should relax at 500 QPS: {f_low}%");
+
+    // At 3000 QPS utilization would exceed the scale-out threshold at
+    // base frequency (3000·0.0028/12 = 0.70); overclocking pulls it
+    // down substantially (the paper's Figure 15 shows the same shape).
+    let util_at_peak = result
+        .utilization
+        .value_at(SimTime::from_secs(1150))
+        .unwrap();
+    assert!(
+        util_at_peak < 70.0,
+        "overclocking should hold utilization below the raw 70%: {util_at_peak}"
+    );
+}
+
+#[test]
+fn frequency_increase_lowers_utilization() {
+    // The core claim behind Equation 1's validation: find any step where
+    // frequency rose while load was constant and check utilization fell
+    // shortly after.
+    let result = Runner::new(RunnerConfig::validation(), Policy::OcA, 7).run();
+    let freq = result.frequency_pct.points();
+    let mut checked = 0;
+    for pair in freq.windows(2) {
+        let (t0, f0) = pair[0];
+        let (t1, f1) = pair[1];
+        // A frequency step-up strictly inside the 2000-QPS phase.
+        if f1 > f0 + 20.0
+            && t0 > SimTime::from_secs(310)
+            && t1 < SimTime::from_secs(560)
+        {
+            let before = result.utilization.value_at(t0).unwrap();
+            let after = result
+                .utilization
+                .value_at(t1 + immersion_cloud::sim::SimDuration::from_secs(30))
+                .unwrap();
+            assert!(
+                after < before + 1.0,
+                "utilization should not rise after a frequency boost: {before} -> {after}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "expected at least one frequency step to verify");
+}
+
+#[test]
+fn table11_shortened_comparison() {
+    let (base, oce, oca) = (
+        Runner::new(short_config(), Policy::Baseline, 42).run(),
+        Runner::new(short_config(), Policy::OcE, 42).run(),
+        Runner::new(short_config(), Policy::OcA, 42).run(),
+    );
+
+    // Tail latency: both overclocking policies beat the baseline, OC-A
+    // beats OC-E (paper: 0.58 and 0.46).
+    let oce_p95 = oce.p95_latency_s / base.p95_latency_s;
+    let oca_p95 = oca.p95_latency_s / base.p95_latency_s;
+    assert!(oce_p95 < 0.9, "OC-E norm P95 {oce_p95}");
+    assert!(oca_p95 < 0.9, "OC-A norm P95 {oca_p95}");
+    assert!(oca_p95 <= oce_p95 + 0.05, "OC-A should be at least as good");
+
+    // Average latency improves even more (paper: 0.27 / 0.23).
+    assert!(oce.avg_latency_s / base.avg_latency_s < 0.5);
+    assert!(oca.avg_latency_s / base.avg_latency_s < 0.5);
+
+    // OC-A runs fewer VMs (paper: 5 vs 6 on the full ramp).
+    assert!(oca.max_vms < base.max_vms);
+    assert_eq!(oce.max_vms, base.max_vms);
+
+    // And saves VM×hours for the customer (paper: 11 %).
+    let saving = 1.0 - oca.vm_hours / base.vm_hours;
+    assert!(saving > 0.05, "VM-hours saving {saving}");
+
+    // Power: overclocking costs the provider energy; OC-A (sustained
+    // overclock) costs more than OC-E (bursts only).
+    assert!(oca.avg_power_w > base.avg_power_w);
+    assert!(oca.avg_power_w > oce.avg_power_w);
+
+    // Identical arrivals were served in all three runs.
+    assert_eq!(base.completed, oce.completed);
+    assert!((base.completed as f64 - oca.completed as f64).abs() < 10.0);
+}
+
+#[test]
+fn runs_are_reproducible_across_invocations() {
+    let a = Runner::new(short_config(), Policy::OcE, 99).run();
+    let b = Runner::new(short_config(), Policy::OcE, 99).run();
+    assert_eq!(a.p95_latency_s, b.p95_latency_s);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.utilization.points(), b.utilization.points());
+}

@@ -1,0 +1,185 @@
+//! Integration tests across the control plane: governor + capping +
+//! cluster + wear accounting working together, with failure injection.
+
+use immersion_cloud::cluster::cluster::Cluster;
+use immersion_cloud::cluster::placement::{Oversubscription, PlacementPolicy};
+use immersion_cloud::cluster::server::ServerSpec;
+use immersion_cloud::cluster::vm::{VmClass, VmSpec};
+use immersion_cloud::core::bottleneck::{analyze, BottleneckThresholds, OverclockTarget};
+use immersion_cloud::core::governor::{Constraint, GovernorConfig, OverclockGovernor};
+use immersion_cloud::core::usecases::buffer::absorb_failure;
+use immersion_cloud::power::capping::{PowerAllocator, PowerRequest, Priority};
+use immersion_cloud::power::cpu::CpuSku;
+use immersion_cloud::power::units::Frequency;
+use immersion_cloud::reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
+use immersion_cloud::reliability::stability::StabilityModel;
+use immersion_cloud::reliability::wear::WearTracker;
+use immersion_cloud::telemetry::counters::CoreCounters;
+use immersion_cloud::thermal::fluid::DielectricFluid;
+use immersion_cloud::thermal::junction::ThermalInterface;
+
+fn governor() -> OverclockGovernor {
+    OverclockGovernor::new(
+        CpuSku::skylake_8180(),
+        ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+        CompositeLifetimeModel::fitted_5nm(),
+        StabilityModel::paper_characterization(),
+        GovernorConfig::default(),
+    )
+}
+
+#[test]
+fn capped_datacenter_throttles_batch_sockets_first() {
+    // Three sockets share a 700 W rack budget; the critical one keeps
+    // its overclock while batch sockets are squeezed toward base power.
+    let allocator = PowerAllocator::new(700.0);
+    let requests = vec![
+        PowerRequest { id: 0, priority: Priority::Critical, floor_w: 140.0, demand_w: 305.0 },
+        PowerRequest { id: 1, priority: Priority::Normal, floor_w: 140.0, demand_w: 305.0 },
+        PowerRequest { id: 2, priority: Priority::Batch, floor_w: 140.0, demand_w: 305.0 },
+    ];
+    let grants = allocator.allocate(&requests);
+    let gov = governor();
+    let freqs: Vec<Frequency> = grants
+        .iter()
+        .map(|g| gov.decide(Frequency::from_ghz(3.3), g.granted_w).frequency)
+        .collect();
+    // Critical socket got full demand → highest frequency.
+    assert!(freqs[0] >= freqs[1]);
+    assert!(freqs[1] >= freqs[2]);
+    assert!(freqs[0] > freqs[2], "priority must matter: {freqs:?}");
+    // The batch socket still runs (floor respected).
+    assert!(freqs[2] >= CpuSku::skylake_8180().base());
+}
+
+#[test]
+fn governor_and_wear_tracker_manage_red_band_spending() {
+    let gov = governor();
+    let model = CompositeLifetimeModel::fitted_5nm();
+    let mut wear = WearTracker::new(5.0);
+
+    // Year 1: moderate utilization banks credit.
+    let nominal = OperatingConditions::new(0.90, 51.0, 35.0);
+    wear.accrue_with_utilization(&model, &nominal, 1.0, 0.4);
+    assert!(wear.credit_years(1.0) > 0.5);
+
+    // The banked credit affords a year in the red band (well beyond the
+    // governor's lifetime ceiling).
+    let red_f = gov.lifetime_ceiling().step_bins(3);
+    let v = gov.sku().voltage_for(red_f);
+    let iface = ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0);
+    let ss = gov.sku().steady_state(&iface, red_f, v);
+    let red = OperatingConditions::new(v.volts(), ss.tj_c, 35.0);
+    assert!(wear.can_afford(&model, &red, 1.0, &nominal));
+
+    // But not indefinitely.
+    assert!(!wear.can_afford(&model, &red, 4.0, &nominal));
+}
+
+#[test]
+fn bottleneck_analysis_steers_the_overclock_target() {
+    // A memory-bound VM should not trigger core overclocking.
+    let mut counters = CoreCounters::new();
+    let t0 = counters.sample(0.0);
+    counters.advance(0.9, 3.4e9, 0.65);
+    let delta = counters.sample(1.0).since(&t0);
+    let analysis = analyze(&delta, BottleneckThresholds::default());
+    assert_eq!(analysis.target, OverclockTarget::Memory);
+
+    // Equation 1 agrees: core frequency barely moves its utilization.
+    let predicted = immersion_cloud::telemetry::eq1::predict_utilization(
+        analysis.utilization,
+        analysis.productivity,
+        3.4,
+        4.1,
+    );
+    assert!(predicted > analysis.utilization * 0.90);
+}
+
+#[test]
+fn failure_storm_with_virtual_buffer() {
+    // A 12-server fleet at moderate fill absorbs two sequential
+    // failures by boosting survivors; the third failure on a full
+    // cluster finally strands VMs — and reports it honestly.
+    let mut cluster = Cluster::new(
+        vec![ServerSpec::open_compute(); 12],
+        PlacementPolicy::WorstFit,
+        Oversubscription::ratio(1.2),
+    );
+    for _ in 0..36 {
+        cluster
+            .create_vm(VmSpec::new(12, 32.0).with_class(VmClass::Regular))
+            .expect("room");
+    }
+    let boost = Frequency::from_ghz(3.3);
+
+    let r1 = absorb_failure(&mut cluster, 0, boost).unwrap();
+    assert!(r1.failover.unplaced.is_empty(), "{r1:?}");
+    let r2 = absorb_failure(&mut cluster, 1, boost).unwrap();
+    assert!(r2.failover.unplaced.is_empty(), "{r2:?}");
+    assert_eq!(cluster.vm_count(), 36);
+
+    // Fill the remaining capacity completely, then lose another server.
+    cluster.fill_with(VmSpec::new(12, 32.0));
+    let r3 = absorb_failure(&mut cluster, 2, boost).unwrap();
+    assert!(!r3.failover.unplaced.is_empty(), "full cluster cannot absorb");
+}
+
+#[test]
+fn oversubscribed_fleet_keeps_power_within_provisioned_budget() {
+    // Overclocking every socket in a 10-server rack would breach a
+    // 5 kW provision; the allocator + governor keep the draw legal.
+    let sku = CpuSku::skylake_8180();
+    let iface = ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6);
+    let gov = OverclockGovernor::new(
+        sku.clone(),
+        iface.clone(),
+        CompositeLifetimeModel::fitted_5nm(),
+        StabilityModel::paper_characterization(),
+        GovernorConfig {
+            target_lifetime_years: 4.0,
+            tj_min_c: 50.0,
+        },
+    );
+    let budget = 5_000.0;
+    let allocator = PowerAllocator::new(budget);
+    let requests: Vec<PowerRequest> = (0..20) // 10 servers × 2 sockets
+        .map(|i| PowerRequest {
+            id: i,
+            priority: if i < 4 { Priority::Critical } else { Priority::Normal },
+            floor_w: 150.0,
+            demand_w: 305.0,
+        })
+        .collect();
+    assert!(allocator.is_oversubscribed(&requests));
+    let grants = allocator.allocate(&requests);
+
+    let mut total = 0.0;
+    for g in &grants {
+        let d = gov.decide(Frequency::from_ghz(3.4), g.granted_w);
+        let v = sku.voltage_for(d.frequency);
+        total += sku.steady_state(&iface, d.frequency, v).power_w;
+        // Every socket still at or above base frequency.
+        assert!(d.frequency >= sku.base());
+    }
+    assert!(
+        total <= budget * 1.01,
+        "fleet draw {total:.0} W exceeds budget {budget} W"
+    );
+    // Critical sockets got at least as much frequency as normal ones.
+    let crit = gov.decide(Frequency::from_ghz(3.4), grants[0].granted_w).frequency;
+    let norm = gov.decide(Frequency::from_ghz(3.4), grants[10].granted_w).frequency;
+    assert!(crit >= norm);
+}
+
+#[test]
+fn stability_constraint_binds_before_crash_territory() {
+    let gov = governor();
+    let d = gov.decide(Frequency::from_ghz(4.5), 10_000.0);
+    assert!(d.frequency <= gov.stability_ceiling());
+    assert!(matches!(d.binding, Constraint::Stability | Constraint::Lifetime));
+    let stability = StabilityModel::paper_characterization();
+    let turbo = gov.sku().air_turbo().step_bins(1);
+    let ratio = d.frequency.ratio_to(turbo);
+    assert!(!stability.crash_risk(ratio), "granted ratio {ratio}");
+}

@@ -1,0 +1,110 @@
+//! End-to-end runs over diurnal load: the auto-scaler riding a
+//! day/night curve, and the power-valley overclocking argument.
+
+use immersion_cloud::autoscale::policy::Policy;
+use immersion_cloud::autoscale::runner::{Runner, RunnerConfig};
+use immersion_cloud::power::capping::{PowerAllocator, PowerRequest, Priority};
+use immersion_cloud::workloads::loadgen::{DiurnalLoad, SpikeTrain};
+
+#[test]
+fn autoscaler_follows_a_diurnal_curve() {
+    // One compressed "day" (2 hours) with a 3:1 peak-to-trough ratio.
+    let day = DiurnalLoad::new(600.0, 1400.0, 7200.0);
+    let mut cfg = RunnerConfig::paper();
+    cfg.schedule = day.to_schedule(24);
+    cfg.initial_vms = 1;
+
+    let r = Runner::new(cfg, Policy::OcA, 42).run();
+
+    // The fleet grows toward the crest and shrinks after it: the VM
+    // count series must rise then fall.
+    let peak_vms = r
+        .vm_count
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0f64, f64::max);
+    let final_vms = r.vm_count.points().last().map(|&(_, v)| v).unwrap();
+    assert!(peak_vms >= 2.0, "should scale out toward the crest");
+    assert!(
+        final_vms < peak_vms,
+        "should scale in on the downslope: final {final_vms} vs peak {peak_vms}"
+    );
+    assert!(r.completed > 100_000);
+}
+
+#[test]
+fn oca_overclocks_on_the_upslope_and_relaxes_in_the_trough() {
+    let day = DiurnalLoad::new(400.0, 700.0, 7200.0).with_phase(-1800.0);
+    let mut cfg = RunnerConfig::paper();
+    cfg.schedule = day.to_schedule(24);
+    let r = Runner::new(cfg, Policy::OcA, 7).run();
+
+    // The frequency series must actually move in both directions.
+    let f_max = r.frequency_pct.max().unwrap();
+    let f_min = r
+        .frequency_pct
+        .points()
+        .iter()
+        .skip(50)
+        .map(|&(_, f)| f)
+        .fold(f64::MAX, f64::min);
+    assert!(f_max > 50.0, "should overclock near the crest: {f_max}");
+    assert!(f_min < 20.0, "should relax in the trough: {f_min}");
+}
+
+#[test]
+fn diurnal_valleys_leave_power_headroom_for_overclocking() {
+    // The Section IV argument: a power-oversubscribed rack can overclock
+    // in the load valleys without tripping capping. Quantify it.
+    let day = DiurnalLoad::daily(1000.0, 2000.0);
+    // Suppose capping-free overclocking needs the load below 60 % of
+    // crest (power roughly tracks load).
+    let threshold = 0.60 * day.crest_qps();
+    let headroom_fraction = day.fraction_below(threshold);
+    assert!(
+        headroom_fraction > 0.4,
+        "valleys should cover a large share of the day: {headroom_fraction}"
+    );
+
+    // And an allocator view: at trough load the rack fits everyone's
+    // overclock demand; at crest it does not.
+    let rack = PowerAllocator::new(3200.0);
+    let demand_at = |qps: f64| -> Vec<PowerRequest> {
+        // 10 sockets; power demand scales with load share.
+        let share = qps / day.crest_qps();
+        (0..10)
+            .map(|i| PowerRequest {
+                id: i,
+                priority: Priority::Normal,
+                floor_w: 150.0,
+                demand_w: 150.0 + 155.0 * share + 100.0, // base + load + overclock ask
+            })
+            .collect()
+    };
+    assert!(!rack.is_oversubscribed(&demand_at(day.trough_qps())));
+    assert!(rack.is_oversubscribed(&demand_at(day.crest_qps())));
+}
+
+#[test]
+fn spike_on_diurnal_base_forces_extra_scale_out() {
+    let day = DiurnalLoad::new(500.0, 500.0, 7200.0);
+    let base_schedule = day.to_schedule(24);
+    let spiked_schedule = SpikeTrain::new()
+        .spike(1800.0, 900.0, 2.2)
+        .apply(&base_schedule);
+
+    let run = |schedule: Vec<(f64, f64)>| {
+        let mut cfg = RunnerConfig::paper();
+        cfg.schedule = schedule;
+        Runner::new(cfg, Policy::Baseline, 11).run()
+    };
+    let calm = run(base_schedule);
+    let spiked = run(spiked_schedule);
+    assert!(
+        spiked.max_vms > calm.max_vms,
+        "the spike should force extra capacity: {} vs {}",
+        spiked.max_vms,
+        calm.max_vms
+    );
+}

@@ -1,0 +1,243 @@
+//! Reproduction-band assertions: every headline claim of the paper,
+//! checked end-to-end against the models.
+
+use immersion_cloud::power::cpu::CpuSku;
+use immersion_cloud::power::leakage::LeakageModel;
+use immersion_cloud::power::server::{ImmersionSavings, ServerPower};
+use immersion_cloud::power::units::{Frequency, Voltage};
+use immersion_cloud::reliability::lifetime::{
+    table5_rows, CompositeLifetimeModel, OperatingConditions,
+};
+use immersion_cloud::tco::{CoolingScenario, TcoModel};
+use immersion_cloud::thermal::fluid::DielectricFluid;
+use immersion_cloud::thermal::junction::{table3_platforms, ThermalInterface};
+use immersion_cloud::thermal::technology::CoolingTechnology;
+use immersion_cloud::workloads::apps::AppProfile;
+use immersion_cloud::workloads::configs::CpuConfig;
+use immersion_cloud::workloads::gpu::{figure11_sweep, GpuConfig, VggModel};
+use immersion_cloud::workloads::mix::Scenario;
+use immersion_cloud::workloads::perfmodel::{figure9_sweep, improvement_pct};
+use immersion_cloud::workloads::stream::{StreamKernel, StreamModel};
+
+#[test]
+fn table1_2pic_is_the_most_efficient_technology() {
+    let rows = CoolingTechnology::catalog();
+    let best = rows.last().unwrap();
+    assert_eq!(best.name(), "2PIC");
+    assert!(rows.iter().all(|t| t.avg_pue() >= best.avg_pue()));
+    assert!(rows.iter().all(|t| t.max_server_cooling_w() <= best.max_server_cooling_w()));
+}
+
+#[test]
+fn table3_immersion_buys_one_turbo_bin_at_iso_power() {
+    for (label, iface, power, tj) in table3_platforms() {
+        assert!(
+            (iface.junction_temp_c(power) - tj).abs() < 1.0,
+            "{label} junction temperature"
+        );
+    }
+    let sku = CpuSku::skylake_8168();
+    let air = ThermalInterface::air(35.0, 12.0, 0.22);
+    let tank = ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.12, 0.4);
+    assert_eq!(
+        sku.max_turbo(&tank, sku.tdp_w()).bins_above(sku.max_turbo(&air, sku.tdp_w())),
+        1
+    );
+}
+
+#[test]
+fn section4_savings_stack_to_182w_per_server() {
+    let savings = ImmersionSavings::compute(
+        &ServerPower::open_compute_air(),
+        2,
+        &LeakageModel::skylake(),
+        92.0,
+        68.0,
+        Voltage::from_volts(0.90),
+        &CoolingTechnology::direct_evaporative(),
+        &CoolingTechnology::immersion_2p(DielectricFluid::fc3284()),
+    );
+    assert!((savings.total_w() - 182.0).abs() < 3.0, "{savings:?}");
+}
+
+#[test]
+fn table5_lifetimes_reproduce_under_the_composite_model() {
+    let model = CompositeLifetimeModel::fitted_5nm();
+    for row in table5_rows() {
+        let years = model.lifetime_years(&row.conditions);
+        if row.paper_years >= 10.0 && !row.overclocked {
+            assert!(years > 10.0, "{} nominal: {years}", row.cooling);
+        } else if row.cooling == "Air cooling" && row.overclocked {
+            assert!(years < 1.0, "air OC: {years}");
+        } else {
+            assert!(
+                (years - row.paper_years).abs() < 0.6,
+                "{} OC {}: model {years} vs paper {}",
+                row.cooling,
+                row.overclocked,
+                row.paper_years
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_23_pct_overclock_preserves_air_lifetime_in_hfe() {
+    let model = CompositeLifetimeModel::fitted_5nm();
+    let air = model.lifetime_years(&OperatingConditions::new(0.90, 85.0, 20.0));
+    let hfe_oc = model.lifetime_years(&OperatingConditions::new(0.98, 60.0, 35.0));
+    assert!((air - hfe_oc).abs() / air < 0.1);
+}
+
+#[test]
+fn figure9_improvements_land_in_the_10_to_25_pct_band() {
+    let sweep = figure9_sweep();
+    for app in AppProfile::cpu_suite() {
+        let best = sweep
+            .iter()
+            .filter(|p| p.app == app.name())
+            .map(|p| p.improvement_pct)
+            .fold(f64::MIN, f64::max);
+        assert!((10.0..=25.0).contains(&best), "{}: {best:.1}%", app.name());
+    }
+}
+
+#[test]
+fn figure9_power_never_decreases_with_aggressiveness() {
+    let order = ["B2", "OC1", "OC2", "OC3"];
+    for app in AppProfile::cpu_suite() {
+        let sweep = figure9_sweep();
+        let powers: Vec<f64> = order
+            .iter()
+            .map(|cfg| {
+                sweep
+                    .iter()
+                    .find(|p| p.app == app.name() && &p.config == cfg)
+                    .unwrap()
+                    .avg_power_w
+            })
+            .collect();
+        assert!(
+            powers.windows(2).all(|w| w[1] >= w[0]),
+            "{}: {powers:?}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn figure10_stream_headline_deltas() {
+    let m = StreamModel::calibrated();
+    let b4 = m.speedup_over_b1(StreamKernel::Triad, &CpuConfig::b4());
+    let oc3 = m.speedup_over_b1(StreamKernel::Triad, &CpuConfig::oc3());
+    assert!((b4 - 1.17).abs() < 0.02, "B4 {b4}");
+    assert!((oc3 - 1.24).abs() < 0.02, "OC3 {oc3}");
+}
+
+#[test]
+fn figure11_gpu_story() {
+    // Up to ~15 % faster; VGG16B indifferent to memory overclocking;
+    // P99 power +19 %.
+    let sweep = figure11_sweep();
+    let best = sweep
+        .iter()
+        .map(|p| 1.0 - p.normalized_time)
+        .fold(0.0, f64::max);
+    assert!((0.10..=0.16).contains(&best), "best {best}");
+    let b16 = VggModel::by_name("VGG16B").unwrap();
+    let gain = b16.normalized_time(&GpuConfig::ocg2()) - b16.normalized_time(&GpuConfig::ocg3());
+    assert!(gain.abs() < 0.002, "VGG16B memory-OC gain {gain}");
+    let base = sweep.iter().find(|p| p.config == "Base").unwrap().p99_power_w;
+    let ocg3 = sweep.iter().find(|p| p.config == "OCG3").unwrap().p99_power_w;
+    assert!((ocg3 / base - 1.19).abs() < 0.03);
+}
+
+#[test]
+fn figure13_oversubscription_story() {
+    for s in Scenario::table10() {
+        assert_eq!(s.total_vcores(), 20);
+        // B2 oversubscribed: everything degrades, LS worst.
+        assert!(s.evaluate(&CpuConfig::b2()).iter().all(|r| r.improvement_pct < 0.0));
+        // OC3: everything improves >= 6 % except TeraSort in scenario 1.
+        for r in s.evaluate(&CpuConfig::oc3()) {
+            if r.scenario == "Scenario 1" && r.app == "TeraSort" {
+                assert!(r.improvement_pct < 6.0);
+            } else {
+                assert!(r.improvement_pct >= 6.0, "{} {}", r.scenario, r.app);
+            }
+        }
+    }
+}
+
+#[test]
+fn sql_is_memory_bound_and_bi_is_not() {
+    let b2 = CpuConfig::b2();
+    let sql_mem_step = improvement_pct(&AppProfile::sql(), &CpuConfig::oc3(), &b2)
+        - improvement_pct(&AppProfile::sql(), &CpuConfig::oc2(), &b2);
+    let bi_mem_step = improvement_pct(&AppProfile::bi(), &CpuConfig::oc3(), &b2)
+        - improvement_pct(&AppProfile::bi(), &CpuConfig::oc2(), &b2);
+    assert!(sql_mem_step > 4.0, "SQL memory step {sql_mem_step}");
+    assert!(bi_mem_step < 0.5, "BI memory step {bi_mem_step}");
+}
+
+#[test]
+fn tco_headlines() {
+    let tco = TcoModel::paper();
+    assert!((tco.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 0.93).abs() < 1e-9);
+    assert!((tco.cost_per_pcore_relative(CoolingScenario::Overclockable2pic) - 0.96).abs() < 1e-9);
+    let vcore = tco.cost_per_vcore_relative(CoolingScenario::Overclockable2pic, 1.10);
+    assert!((vcore - 0.87).abs() < 0.01, "vcore {vcore}");
+}
+
+#[test]
+fn figure12_generalizes_to_slo_planning() {
+    // The SLO planner must land on the same 16-vs-12 answer Figure 12
+    // reports at its operating point.
+    use immersion_cloud::workloads::slo::{reclaimed_capacity, LatencySlo};
+    let slo = LatencySlo::new(0.95, 0.034);
+    let (base, oc) = reclaimed_capacity(1150.0, 0.010, 1.5, slo, 1.206, 64).unwrap();
+    assert_eq!(base, 16, "B2 cores");
+    assert_eq!(oc, 12, "OC3 cores");
+}
+
+#[test]
+fn figure4_turbo_staircase_lifts_under_immersion() {
+    use immersion_cloud::power::turbo::TurboTable;
+    let sku = CpuSku::skylake_8180();
+    let cap = immersion_cloud::power::units::Frequency::from_ghz(3.8);
+    let air = TurboTable::derive(&sku, &ThermalInterface::air(35.0, 12.1, 0.21), sku.tdp_w(), cap);
+    let tank = TurboTable::derive(
+        &sku,
+        &ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6),
+        sku.tdp_w(),
+        cap,
+    );
+    assert_eq!(air.all_core().ghz(), 2.6);
+    assert_eq!(tank.all_core().ghz(), 2.7);
+    // Lightly-threaded headroom exists even in air (the paper's
+    // telemetry observation), and immersion widens it everywhere.
+    assert!(air.frequency_for(4) > air.all_core());
+    for n in 1..=28 {
+        assert!(tank.frequency_for(n) >= air.frequency_for(n));
+    }
+}
+
+#[test]
+fn table5_dtj_swings_emerge_from_transient_physics() {
+    use immersion_cloud::thermal::transient::swing_comparison;
+    let (air_swing, tank_swing) =
+        swing_comparison(&DielectricFluid::fc3284(), 5.0, 305.0, 1200.0, 4);
+    assert!(air_swing > 2.0 * tank_swing);
+}
+
+#[test]
+fn overclocked_socket_draws_about_305w() {
+    let sku = CpuSku::skylake_8180();
+    let tank = ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6);
+    let ss = sku.overclocked_state(&tank);
+    assert!((ss.power_w - 305.0).abs() < 20.0, "power {}", ss.power_w);
+    // The V/f anchor: ~0.98 V at +23 %.
+    let f = Frequency::from_mhz((sku.air_turbo().step_bins(1).mhz() as f64 * 1.23).round() as u32);
+    let v = sku.voltage_for(f);
+    assert!((v.volts() - 0.98).abs() < 0.01, "voltage {v}");
+}
