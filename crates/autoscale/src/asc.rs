@@ -8,6 +8,9 @@
 //! changes driven by Equation 1.
 
 use crate::policy::{AscConfig, Policy, ScalingMetric};
+use ic_obs::json::Value;
+use ic_obs::metrics::MetricsHandle;
+use ic_obs::trace::{TraceHandle, TraceLevel};
 use ic_sim::stats::SlidingWindow;
 use ic_sim::time::{SimDuration, SimTime};
 use ic_telemetry::counters::CounterSample;
@@ -49,6 +52,8 @@ pub struct AutoScaler {
     current_ratio: f64,
     scale_outs: u32,
     scale_ins: u32,
+    trace: Option<TraceHandle>,
+    metrics: Option<MetricsHandle>,
 }
 
 impl std::fmt::Debug for AutoScaler {
@@ -81,6 +86,35 @@ impl AutoScaler {
             current_ratio: 1.0,
             scale_outs: 0,
             scale_ins: 0,
+            trace: None,
+            metrics: None,
+        }
+    }
+
+    /// Attaches a trace recorder: every controller transition —
+    /// scale-out initiation/completion, scale-in, frequency change —
+    /// is emitted with its Equation-1 inputs and outputs, and each
+    /// decision step leaves a `Debug`-level record.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Attaches a metrics registry: decision counters
+    /// (`asc_decisions_total{kind}`), the active-VM and frequency-ratio
+    /// gauges, and a utilization histogram (`asc_step_util`).
+    pub fn attach_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = Some(metrics);
+    }
+
+    fn emit(
+        &self,
+        now: SimTime,
+        level: TraceLevel,
+        kind: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        if let Some(trace) = &self.trace {
+            trace.borrow_mut().emit(now, "asc", level, kind, fields);
         }
     }
 
@@ -128,6 +162,16 @@ impl AutoScaler {
                 // Utilization will step down; stale window samples would
                 // immediately re-trigger, so restart the windows.
                 self.reset_windows();
+                self.emit(
+                    now,
+                    TraceLevel::Info,
+                    "scale_out_complete",
+                    vec![
+                        ("vm", Value::U64(vm as u64)),
+                        ("active_vms", Value::U64(sim.active_vms().len() as u64)),
+                        ("freq_ratio", Value::F64(self.current_ratio)),
+                    ],
+                );
             }
         }
 
@@ -200,6 +244,17 @@ impl AutoScaler {
                 for &vm in &active {
                     sim.set_share(vm, 1.0 - self.config.scale_out_interference);
                 }
+                self.emit(
+                    now,
+                    TraceLevel::Info,
+                    "scale_out",
+                    vec![
+                        ("out_signal", Value::F64(out_signal)),
+                        ("threshold", Value::F64(self.config.scale_out_threshold)),
+                        ("active_vms", Value::U64(active.len() as u64)),
+                        ("latency_s", Value::F64(self.config.scale_out_latency_s)),
+                    ],
+                );
             } else if out_util < self.config.scale_in_threshold
                 && active.len() > self.config.min_vms
             {
@@ -210,6 +265,17 @@ impl AutoScaler {
                     scaled_in = true;
                     self.last_topology_change = Some(now);
                     self.reset_windows();
+                    self.emit(
+                        now,
+                        TraceLevel::Info,
+                        "scale_in",
+                        vec![
+                            ("vm", Value::U64(vm as u64)),
+                            ("out_util", Value::F64(out_util)),
+                            ("threshold", Value::F64(self.config.scale_in_threshold)),
+                            ("active_vms", Value::U64((active.len() - 1) as u64)),
+                        ],
+                    );
                 }
             }
         }
@@ -227,13 +293,35 @@ impl AutoScaler {
             Policy::OcA => self.oc_a_ratio(up_util, productivity),
         };
         if (new_ratio - self.current_ratio).abs() > 1e-12 {
+            // Equation 1's inputs justify the transition: what the
+            // short-window utilization projects to at the base frequency
+            // determines the minimum sufficient ratio.
+            let util_at_base = predict_utilization(
+                up_util.clamp(0.0, 1.0),
+                productivity,
+                self.current_ratio,
+                1.0,
+            )
+            .clamp(0.0, 1.0);
+            self.emit(
+                now,
+                TraceLevel::Info,
+                "freq_change",
+                vec![
+                    ("old_ratio", Value::F64(self.current_ratio)),
+                    ("new_ratio", Value::F64(new_ratio)),
+                    ("up_util", Value::F64(up_util)),
+                    ("productivity", Value::F64(productivity)),
+                    ("util_at_base", Value::F64(util_at_base)),
+                ],
+            );
             self.current_ratio = new_ratio;
             for &vm in &sim.active_vms() {
                 sim.set_freq_ratio(vm, new_ratio);
             }
         }
 
-        StepTrace {
+        let step = StepTrace {
             at: now,
             instant_util,
             out_window_util: out_util,
@@ -242,7 +330,35 @@ impl AutoScaler {
             active_vms: sim.active_vms().len(),
             scaled_out,
             scaled_in,
+        };
+        self.emit(
+            now,
+            TraceLevel::Debug,
+            "step",
+            vec![
+                ("instant_util", Value::F64(step.instant_util)),
+                ("out_util", Value::F64(step.out_window_util)),
+                ("up_util", Value::F64(step.up_window_util)),
+                ("productivity", Value::F64(productivity)),
+                ("freq_ratio", Value::F64(step.freq_ratio)),
+                ("active_vms", Value::U64(step.active_vms as u64)),
+            ],
+        );
+        if let Some(metrics) = &self.metrics {
+            let mut m = metrics.borrow_mut();
+            m.counter_add("asc_decisions_total{step}", 1);
+            if step.scaled_out {
+                m.counter_add("asc_decisions_total{scale_out}", 1);
+            }
+            if step.scaled_in {
+                m.counter_add("asc_decisions_total{scale_in}", 1);
+            }
+            m.gauge_set("asc_active_vms", step.active_vms as f64);
+            m.gauge_set("asc_freq_ratio", step.freq_ratio);
+            m.register_histogram("asc_step_util", 1e-3, 1.25, 40);
+            m.histogram_record("asc_step_util", step.instant_util);
         }
+        step
     }
 
     /// OC-A frequency selection: Equation 1 picks the minimum ratio
@@ -284,8 +400,7 @@ impl AutoScaler {
     }
 
     fn reset_windows(&mut self) {
-        self.out_window =
-            SlidingWindow::new(SimDuration::from_secs_f64(self.config.out_window_s));
+        self.out_window = SlidingWindow::new(SimDuration::from_secs_f64(self.config.out_window_s));
         self.up_window = SlidingWindow::new(SimDuration::from_secs_f64(self.config.up_window_s));
     }
 }
@@ -334,11 +449,7 @@ mod tests {
         let mut asc = AutoScaler::new(AscConfig::paper(), Policy::Baseline);
         let traces = drive(&mut asc, &mut sim, 300);
         let initiated = traces.iter().find(|t| t.scaled_out).unwrap().at;
-        let completed = traces
-            .iter()
-            .find(|t| t.active_vms == 2)
-            .unwrap()
-            .at;
+        let completed = traces.iter().find(|t| t.active_vms == 2).unwrap().at;
         let latency = (completed - initiated).as_secs_f64();
         assert!(
             (60.0..66.1).contains(&latency),
@@ -371,7 +482,9 @@ mod tests {
         let max_ratio = AscConfig::paper().max_ratio();
         // While pending: max ratio; once the VM lands and load spreads:
         // back to 1.0.
-        assert!(traces.iter().any(|t| (t.freq_ratio - max_ratio).abs() < 1e-9));
+        assert!(traces
+            .iter()
+            .any(|t| (t.freq_ratio - max_ratio).abs() < 1e-9));
         assert_eq!(traces.last().unwrap().freq_ratio, 1.0);
         assert_eq!(traces.last().unwrap().active_vms, 2);
     }

@@ -92,9 +92,7 @@ impl AscConfig {
     /// 60-second scale-out latency, and 8 bins from 3.4 to 4.1 GHz.
     pub fn paper() -> Self {
         let bins = 8;
-        let freq_ratios = (0..bins)
-            .map(|i| (3.4 + 0.1 * i as f64) / 3.4)
-            .collect();
+        let freq_ratios = (0..bins).map(|i| (3.4 + 0.1 * i as f64) / 3.4).collect();
         AscConfig {
             scale_out_threshold: 0.50,
             scale_in_threshold: 0.20,

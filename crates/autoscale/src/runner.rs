@@ -4,6 +4,8 @@
 
 use crate::asc::AutoScaler;
 use crate::policy::{AscConfig, Policy};
+use ic_obs::metrics::MetricsHandle;
+use ic_obs::trace::TraceHandle;
 use ic_power::units::{Frequency, Voltage};
 use ic_power::vf::VfCurve;
 use ic_sim::series::TimeSeries;
@@ -123,6 +125,8 @@ pub struct RunResult {
     pub avg_power_w: f64,
     /// Requests completed.
     pub completed: u64,
+    /// Discrete events the workload simulation executed.
+    pub sim_events: u64,
     /// Fleet-average utilization over time (Figure 16 series).
     pub utilization: TimeSeries,
     /// Frequency as a percentage of the B2→OC1 range (Figure 15 series).
@@ -136,6 +140,8 @@ pub struct Runner {
     config: RunnerConfig,
     policy: Policy,
     seed: u64,
+    trace: Option<TraceHandle>,
+    metrics: Option<MetricsHandle>,
 }
 
 impl Runner {
@@ -145,7 +151,27 @@ impl Runner {
             config,
             policy,
             seed,
+            trace: None,
+            metrics: None,
         }
+    }
+
+    /// Routes the auto-scaler's structured trace events into `trace`.
+    /// Events are keyed by simulation time and recorder sequence only,
+    /// so two same-seed runs emit byte-identical streams.
+    pub fn with_trace(mut self, trace: TraceHandle) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Records controller and run-level metrics into `metrics`; besides
+    /// the auto-scaler's own counters, the runner leaves
+    /// `runner_p95_latency_s`, `runner_vm_hours`, `runner_max_vms`, and
+    /// `runner_avg_power_w` gauges so a summary can be printed from the
+    /// registry alone.
+    pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Runs the experiment to completion.
@@ -162,6 +188,12 @@ impl Runner {
             sim.add_vm();
         }
         let mut asc = AutoScaler::new(cfg.asc.clone(), self.policy);
+        if let Some(trace) = &self.trace {
+            asc.attach_trace(trace.clone());
+        }
+        if let Some(metrics) = &self.metrics {
+            asc.attach_metrics(metrics.clone());
+        }
 
         let vf = VfCurve::xeon_w3175x();
         let base_f = Frequency::from_ghz(3.4);
@@ -216,18 +248,15 @@ impl Runner {
             let f = Frequency::from_mhz((base_f.mhz() as f64 * trace.freq_ratio).round() as u32);
             let v = vf.voltage_for(f).max(v0);
             let fv2 = f.ratio_to(base_f) * v.squared_ratio_to(v0);
-            let busy_cores = (trace.instant_util
-                * cfg.vcores_per_vm as f64
-                * trace.active_vms as f64)
-                .min(28.0);
+            let busy_cores =
+                (trace.instant_util * cfg.vcores_per_vm as f64 * trace.active_vms as f64).min(28.0);
             let idle_cores = 28.0 - busy_cores;
-            let host_w = 45.0 + 15.0 * fv2 + 30.0 + 2.5 * busy_cores * fv2
-                + 0.8 * idle_cores * fv2;
+            let host_w = 45.0 + 15.0 * fv2 + 30.0 + 2.5 * busy_cores * fv2 + 0.8 * idle_cores * fv2;
             power.set(t, host_w);
         }
 
         let vm_hours = vm_integral.average(end) * end.as_secs_f64() / 3600.0;
-        RunResult {
+        let result = RunResult {
             policy: self.policy.label(),
             p95_latency_s: latencies.percentile(0.95),
             avg_latency_s: latencies.mean(),
@@ -235,10 +264,22 @@ impl Runner {
             vm_hours,
             avg_power_w: power.average(end),
             completed: sim.completed_requests(),
+            sim_events: sim.events_processed(),
             utilization: util_series,
             frequency_pct: freq_series,
             vm_count: vm_series,
+        };
+        if let Some(metrics) = &self.metrics {
+            let mut m = metrics.borrow_mut();
+            m.gauge_set("runner_p95_latency_s", result.p95_latency_s);
+            m.gauge_set("runner_avg_latency_s", result.avg_latency_s);
+            m.gauge_set("runner_vm_hours", result.vm_hours);
+            m.gauge_set("runner_max_vms", result.max_vms as f64);
+            m.gauge_set("runner_avg_power_w", result.avg_power_w);
+            m.counter_add("runner_requests_completed", result.completed);
+            m.counter_add("runner_sim_events", result.sim_events);
         }
+        result
     }
 }
 

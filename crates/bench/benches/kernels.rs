@@ -1,9 +1,16 @@
-//! Criterion microbenchmarks for the hot paths of the workspace: the
+//! Microbenchmarks for the hot paths of the workspace: the
 //! discrete-event engine, the M/G/k simulation, the auto-scaler control
 //! step, VM placement, and the analytic models the governor evaluates on
 //! every decision.
+//!
+//! Criterion is unavailable in the hermetic build, so this is a plain
+//! `harness = false` binary with a small best-of-N timing loop. Run with
+//! `cargo bench -p ic-bench`; each line reports the best per-iteration
+//! time over several batches, which is stable enough to catch order-of-
+//! magnitude regressions in CI logs.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ic_autoscale::asc::AutoScaler;
+use ic_autoscale::policy::{AscConfig, Policy};
 use ic_cluster::cluster::Cluster;
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
 use ic_cluster::server::ServerSpec;
@@ -19,82 +26,85 @@ use ic_thermal::fluid::DielectricFluid;
 use ic_thermal::junction::ThermalInterface;
 use ic_workloads::mgk::ClientServerSim;
 use ic_workloads::queueing::MgkQueue;
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_engine(c: &mut Criterion) {
-    c.bench_function("engine_100k_events", |b| {
-        b.iter_batched(
-            || {
-                let mut engine: Engine<u64> = Engine::new();
-                for i in 0..100_000u64 {
-                    engine.schedule(SimTime::from_nanos(i * 13 % 1_000_000), |s, _| *s += 1);
-                }
-                engine
-            },
-            |mut engine| {
-                let mut count = 0u64;
-                engine.run(&mut count);
-                count
-            },
-            BatchSize::SmallInput,
-        )
+/// Runs `f` in `batches` batches of `iters` iterations and prints the
+/// best mean per-iteration time (the least-perturbed batch).
+fn bench<T>(name: &str, batches: u32, iters: u32, mut f: impl FnMut() -> T) {
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+        best = best.min(per_iter);
+    }
+    let (value, unit) = if best >= 1e-3 {
+        (best * 1e3, "ms")
+    } else if best >= 1e-6 {
+        (best * 1e6, "us")
+    } else {
+        (best * 1e9, "ns")
+    };
+    println!("{name:<28} {value:>10.3} {unit}/iter");
+}
+
+fn bench_engine() {
+    bench("engine_100k_events", 5, 3, || {
+        let mut engine: Engine<u64> = Engine::new();
+        for i in 0..100_000u64 {
+            engine.schedule(SimTime::from_nanos(i * 13 % 1_000_000), |s, _| *s += 1);
+        }
+        let mut count = 0u64;
+        engine.run(&mut count);
+        count
     });
 }
 
-fn bench_mgk_sim(c: &mut Criterion) {
-    c.bench_function("mgk_sim_10s_at_2000qps", |b| {
-        b.iter(|| {
-            let mut sim = ClientServerSim::new(1, 0.0028, 2.0, 4, 0.1);
-            for _ in 0..4 {
-                sim.add_vm();
-            }
-            sim.set_qps(2000.0);
-            sim.advance_to(SimTime::from_secs(10));
-            sim.completed_requests()
-        })
-    });
-}
-
-fn bench_autoscaler_step(c: &mut Criterion) {
-    use ic_autoscale::asc::AutoScaler;
-    use ic_autoscale::policy::{AscConfig, Policy};
-    c.bench_function("autoscaler_control_step", |b| {
-        let mut sim = ClientServerSim::new(2, 0.0028, 2.0, 4, 0.1);
-        for _ in 0..3 {
+fn bench_mgk_sim() {
+    bench("mgk_sim_10s_at_2000qps", 5, 3, || {
+        let mut sim = ClientServerSim::new(1, 0.0028, 2.0, 4, 0.1);
+        for _ in 0..4 {
             sim.add_vm();
         }
-        sim.set_qps(1500.0);
-        let mut asc = AutoScaler::new(AscConfig::paper(), Policy::OcA);
-        let mut t = SimTime::ZERO;
-        b.iter(|| {
-            t += SimDuration::from_secs(3);
-            sim.advance_to(t);
-            asc.step(&mut sim)
-        })
+        sim.set_qps(2000.0);
+        sim.advance_to(SimTime::from_secs(10));
+        sim.completed_requests()
     });
 }
 
-fn bench_placement(c: &mut Criterion) {
-    c.bench_function("best_fit_place_200_vms", |b| {
-        b.iter_batched(
-            || {
-                Cluster::new(
-                    vec![ServerSpec::open_compute(); 50],
-                    PlacementPolicy::BestFit,
-                    Oversubscription::ratio(1.2),
-                )
-            },
-            |mut cluster| {
-                for _ in 0..200 {
-                    let _ = cluster.create_vm(VmSpec::new(4, 16.0));
-                }
-                cluster.vm_count()
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_autoscaler_step() {
+    let mut sim = ClientServerSim::new(2, 0.0028, 2.0, 4, 0.1);
+    for _ in 0..3 {
+        sim.add_vm();
+    }
+    sim.set_qps(1500.0);
+    let mut asc = AutoScaler::new(AscConfig::paper(), Policy::OcA);
+    let mut t = SimTime::ZERO;
+    bench("autoscaler_control_step", 5, 200, || {
+        t += SimDuration::from_secs(3);
+        sim.advance_to(t);
+        asc.step(&mut sim)
     });
 }
 
-fn bench_governor(c: &mut Criterion) {
+fn bench_placement() {
+    bench("best_fit_place_200_vms", 5, 20, || {
+        let mut cluster = Cluster::new(
+            vec![ServerSpec::open_compute(); 50],
+            PlacementPolicy::BestFit,
+            Oversubscription::ratio(1.2),
+        );
+        for _ in 0..200 {
+            let _ = cluster.create_vm(VmSpec::new(4, 16.0));
+        }
+        cluster.vm_count()
+    });
+}
+
+fn bench_governor() {
     let governor = OverclockGovernor::new(
         CpuSku::skylake_8180(),
         ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
@@ -102,27 +112,26 @@ fn bench_governor(c: &mut Criterion) {
         StabilityModel::paper_characterization(),
         GovernorConfig::default(),
     );
-    c.bench_function("governor_decide", |b| {
-        b.iter(|| governor.decide(Frequency::from_ghz(3.3), 305.0))
+    bench("governor_decide", 5, 500, || {
+        governor.decide(Frequency::from_ghz(3.3), 305.0)
     });
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models() {
     let model = CompositeLifetimeModel::fitted_5nm();
     let cond = OperatingConditions::new(0.98, 74.0, 50.0);
-    c.bench_function("lifetime_eval", |b| b.iter(|| model.lifetime_years(&cond)));
-    c.bench_function("mgk_p95_quantile", |b| {
-        b.iter(|| MgkQueue::new(16, 1230.0, 0.01, 1.5).sojourn_quantile(0.95))
+    bench("lifetime_eval", 5, 10_000, || model.lifetime_years(&cond));
+    bench("mgk_p95_quantile", 5, 2_000, || {
+        MgkQueue::new(16, 1230.0, 0.01, 1.5).sojourn_quantile(0.95)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_engine,
-    bench_mgk_sim,
-    bench_autoscaler_step,
-    bench_placement,
-    bench_governor,
-    bench_models
-);
-criterion_main!(benches);
+fn main() {
+    println!("kernel microbenchmarks (best of 5 batches)\n");
+    bench_engine();
+    bench_mgk_sim();
+    bench_autoscaler_step();
+    bench_placement();
+    bench_governor();
+    bench_models();
+}

@@ -1,4 +1,7 @@
 //! Ablation study; see the function docs in ic_bench::experiments::ablations.
 fn main() {
-    print!("{}", ic_bench::experiments::ablations::ablation_interference());
+    print!(
+        "{}",
+        ic_bench::experiments::ablations::ablation_interference()
+    );
 }

@@ -1,6 +1,13 @@
-//! Runs every table and figure experiment in paper order; pass --quick
-//! to shorten the simulation-backed ones.
+//! Runs every table and figure experiment in paper order. Pass --quick
+//! to shorten the simulation-backed ones, and --json to emit one
+//! machine-readable JSONL record per experiment instead of the rendered
+//! report.
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", ic_bench::experiments::run_all(quick));
+    let json = std::env::args().any(|a| a == "--json");
+    if json {
+        print!("{}", ic_bench::experiments::run_all_json(quick));
+    } else {
+        print!("{}", ic_bench::experiments::run_all(quick));
+    }
 }

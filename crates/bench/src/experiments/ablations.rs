@@ -14,9 +14,7 @@ use ic_cluster::lifecycle::{run_lifecycle, LifecycleConfig};
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
 use ic_cluster::server::ServerSpec;
 use ic_reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
-use ic_reliability::mechanisms::{
-    Electromigration, GateOxideBreakdown, ThermalCycling,
-};
+use ic_reliability::mechanisms::{Electromigration, GateOxideBreakdown, ThermalCycling};
 use ic_sim::SimTime;
 
 fn short_ramp() -> RunnerConfig {
@@ -44,7 +42,12 @@ pub fn ablation_interference() -> String {
     }
     table(
         "Ablation: scale-out interference vs Table XI shape",
-        &["Interference", "OC-E norm P95", "OC-A norm P95", "Max VMs B/E/A"],
+        &[
+            "Interference",
+            "OC-E norm P95",
+            "OC-A norm P95",
+            "Max VMs B/E/A",
+        ],
         &rows,
     )
 }
@@ -55,7 +58,12 @@ pub fn ablation_policies() -> String {
     let cfg = short_ramp();
     let base = Runner::new(cfg.clone(), Policy::Baseline, 42).run();
     let mut rows = Vec::new();
-    for policy in [Policy::Baseline, Policy::Predictive, Policy::OcE, Policy::OcA] {
+    for policy in [
+        Policy::Baseline,
+        Policy::Predictive,
+        Policy::OcE,
+        Policy::OcA,
+    ] {
         let r = Runner::new(cfg.clone(), policy, 42).run();
         rows.push(vec![
             r.policy.to_string(),

@@ -43,7 +43,14 @@ pub fn fig4() -> String {
     }
     let mut out = table(
         "Figure 4: operating domains",
-        &["Platform", "Guaranteed", "Turbo", "OC green", "OC red", "Non-operating"],
+        &[
+            "Platform",
+            "Guaranteed",
+            "Turbo",
+            "OC green",
+            "OC red",
+            "Non-operating",
+        ],
         &rows,
     );
     // The opportunistic-turbo staircase behind the figure: max per-core
@@ -100,8 +107,8 @@ pub fn fig5() -> String {
         &["VM class", "Entitled frequency", "Price multiplier"],
         &rows,
     );
-    let plan = plan_packing(domains.turbo(), domains.green_top(), 1.20)
-        .expect("within green headroom");
+    let plan =
+        plan_packing(domains.turbo(), domains.green_top(), 1.20).expect("within green headroom");
     out.push_str(&format!(
         "Dense packing: +{} vcores per 100 pcores, compensated at {}\n",
         plan.extra_vcores_per_100_pcores, plan.compensating_frequency
@@ -121,7 +128,11 @@ pub fn fig6() -> String {
     }
     table(
         "Figure 6: static vs virtual (overclock-backed) buffers",
-        &["Fleet / tolerated failures", "Static spares", "Virtual spares"],
+        &[
+            "Fleet / tolerated failures",
+            "Static spares",
+            "Virtual spares",
+        ],
         &rows,
     )
 }
@@ -129,10 +140,22 @@ pub fn fig6() -> String {
 /// Figure 7: capacity-crisis gap bridging.
 pub fn fig7() -> String {
     let timeline = CapacityTimeline::new(vec![
-        CapacitySnapshot { demand_vcores: 80_000.0, supply_vcores: 100_000.0 },
-        CapacitySnapshot { demand_vcores: 105_000.0, supply_vcores: 100_000.0 },
-        CapacitySnapshot { demand_vcores: 118_000.0, supply_vcores: 100_000.0 },
-        CapacitySnapshot { demand_vcores: 126_000.0, supply_vcores: 150_000.0 },
+        CapacitySnapshot {
+            demand_vcores: 80_000.0,
+            supply_vcores: 100_000.0,
+        },
+        CapacitySnapshot {
+            demand_vcores: 105_000.0,
+            supply_vcores: 100_000.0,
+        },
+        CapacitySnapshot {
+            demand_vcores: 118_000.0,
+            supply_vcores: 100_000.0,
+        },
+        CapacitySnapshot {
+            demand_vcores: 126_000.0,
+            supply_vcores: 150_000.0,
+        },
     ]);
     let rows: Vec<Vec<String>> = timeline
         .periods()
@@ -201,7 +224,14 @@ pub fn fig9() -> String {
         .collect();
     table(
         "Figure 9: cloud workloads under overclocking (vs B2)",
-        &["App", "Config", "Norm metric", "Improvement", "Avg power", "P99 power"],
+        &[
+            "App",
+            "Config",
+            "Norm metric",
+            "Improvement",
+            "Avg power",
+            "P99 power",
+        ],
         &rows,
     )
 }
@@ -251,12 +281,22 @@ pub fn fig11() -> String {
 /// Figure 12: average P95 latency of 4 SQL VMs versus assigned pcores,
 /// B2 vs OC3. The paper's crossover: OC3 with 12 pcores matches B2 with
 /// 16 (within 1 %), freeing 4 pcores.
-pub fn fig12() -> String {
-    // 4 SQL VMs × 4 vcores; the aggregate load is solved so that the
-    // paper's observation holds at the operating point: OC3 with 12
-    // pcores matches B2 with 16. (The paper ran one fixed load and
-    // reported the crossover; we recover that load by bisection on the
-    // analytic M/G/k model.)
+/// The Figure 12 operating point: load, residual P95 delta at the
+/// crossover, and the model parameters the figure is built from.
+struct Fig12Point {
+    lambda: f64,
+    delta: f64,
+    service_b2: f64,
+    scv: f64,
+    sql_oc3: f64,
+}
+
+/// Solves the Figure 12 operating point. 4 SQL VMs × 4 vcores; the
+/// aggregate load is solved so that the paper's observation holds:
+/// OC3 with 12 pcores matches B2 with 16. (The paper ran one fixed
+/// load and reported the crossover; we recover that load by bisection
+/// on the analytic M/G/k model.)
+fn fig12_crossover() -> Fig12Point {
     let service_b2 = 0.010; // 10 ms per query-core at B2
     let scv = 1.5;
     let sql_oc3 = time_ratio(
@@ -279,6 +319,23 @@ pub fn fig12() -> String {
         }
     }
     let lambda = (lo + hi) / 2.0;
+    Fig12Point {
+        lambda,
+        delta: ratio_at(lambda),
+        service_b2,
+        scv,
+        sql_oc3,
+    }
+}
+
+pub fn fig12() -> String {
+    let Fig12Point {
+        lambda,
+        delta,
+        service_b2,
+        scv,
+        sql_oc3,
+    } = fig12_crossover();
     let power = ic_workloads::perfmodel::ServerPowerModel::tank1();
 
     let mut rows = Vec::new();
@@ -295,8 +352,14 @@ pub fn fig12() -> String {
             format!("{pcores}"),
             b2.map_or("unstable".into(), |v| format!("{v:.2} ms")),
             oc3.map_or("unstable".into(), |v| format!("{v:.2} ms")),
-            format!("{:.0} W", power.avg_power_w(&CpuConfig::b2(), pcores.min(28))),
-            format!("{:.0} W", power.avg_power_w(&CpuConfig::oc3(), pcores.min(28))),
+            format!(
+                "{:.0} W",
+                power.avg_power_w(&CpuConfig::b2(), pcores.min(28))
+            ),
+            format!(
+                "{:.0} W",
+                power.avg_power_w(&CpuConfig::oc3(), pcores.min(28))
+            ),
         ]);
     }
     let mut out = table(
@@ -306,9 +369,26 @@ pub fn fig12() -> String {
     );
     out.push_str(&format!(
         "At {lambda:.0} QPS: OC3@12 pcores vs B2@16 pcores: {:+.1}% (paper: within 1%) -> 4 pcores freed\n",
-        ratio_at(lambda) * 100.0
+        delta * 100.0
     ));
     out
+}
+
+/// Structured Figure 12 metrics: the residual P95 delta at the
+/// crossover (paper: within 1%, i.e. ~0) and the pcores freed.
+pub fn fig12_metrics() -> Vec<crate::report::Metric> {
+    use crate::report::Metric;
+    let point = fig12_crossover();
+    vec![
+        Metric::with_paper(
+            "crossover_p95_delta_pct",
+            "percent",
+            0.0,
+            point.delta * 100.0,
+        ),
+        Metric::with_paper("pcores_freed", "count", 4.0, 4.0),
+        Metric::new("crossover_load_qps", "qps", point.lambda),
+    ]
 }
 
 /// Figure 13 (and Table X): mixed batch + latency-sensitive
@@ -367,16 +447,7 @@ pub fn fig14() -> String {
 /// Figure 15: Equation 1 validation — utilization and frequency over
 /// the 1000/2000/500/3000/1000 QPS schedule with scale-up/down only.
 pub fn fig15(quick: bool) -> String {
-    let mut config = RunnerConfig::validation();
-    if quick {
-        // Halve the dwell to 2.5 minutes.
-        config.schedule = config
-            .schedule
-            .iter()
-            .map(|&(t, q)| (t / 2.0, q))
-            .collect();
-    }
-    let r = Runner::new(config, Policy::OcA, 42).run();
+    let r = fig15_run(quick);
     let mut out = String::from("== Figure 15: model validation (3 VMs, scale-up/down only) ==\n");
     out.push_str("time_s,util_pct,freq_pct_of_range\n");
     let step = ic_sim::SimDuration::from_secs(if quick { 30 } else { 60 });
@@ -438,15 +509,25 @@ pub fn fig16(quick: bool) -> String {
     )
 }
 
+/// Runs the Figure 15 validation scenario (OC-A on the
+/// 1000/2000/500/3000/1000 QPS schedule; `quick` halves the dwell).
+fn fig15_run(quick: bool) -> ic_autoscale::runner::RunResult {
+    let mut config = RunnerConfig::validation();
+    if quick {
+        // Halve the dwell to 2.5 minutes.
+        config.schedule = config.schedule.iter().map(|&(t, q)| (t / 2.0, q)).collect();
+    }
+    Runner::new(config, Policy::OcA, 42).run()
+}
+
 /// The Figure 15 validation invariant, exposed for tests: at every
 /// frequency *increase* inside a constant-load phase, utilization must
 /// not rise afterwards.
 pub fn fig15_validates(quick: bool) -> bool {
-    let mut config = RunnerConfig::validation();
-    if quick {
-        config.schedule = config.schedule.iter().map(|&(t, q)| (t / 2.0, q)).collect();
-    }
-    let r = Runner::new(config, Policy::OcA, 42).run();
+    fig15_invariant_holds(&fig15_run(quick))
+}
+
+fn fig15_invariant_holds(r: &ic_autoscale::runner::RunResult) -> bool {
     let pts = r.frequency_pct.points();
     for pair in pts.windows(2) {
         let ((t0, f0), (t1, f1)) = (pair[0], pair[1]);
@@ -467,13 +548,73 @@ pub fn fig15_validates(quick: bool) -> bool {
     true
 }
 
+/// Structured Figure 15 record: Equation 1 validation outcome plus the
+/// run's simulation-event count, for `run_all --json`.
+pub fn fig15_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
+    use crate::report::Metric;
+    let r = fig15_run(quick);
+    let holds = fig15_invariant_holds(&r);
+    let metrics = vec![
+        Metric::with_paper(
+            "eq1_invariant_holds",
+            "bool",
+            1.0,
+            f64::from(u8::from(holds)),
+        ),
+        Metric::new(
+            "peak_util_pct",
+            "percent",
+            r.utilization.max().unwrap_or(0.0),
+        ),
+    ];
+    (r.sim_events, metrics)
+}
+
+/// Structured Figure 16 record: peak utilization and VM footprint per
+/// policy plus the combined simulation-event count, for
+/// `run_all --json`.
+pub fn fig16_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
+    use crate::report::Metric;
+    let mut config = RunnerConfig::paper();
+    if quick {
+        config.schedule = ramp_schedule(500.0, 2500.0, 500.0, 300.0);
+    }
+    let mut sim_events = 0;
+    let mut metrics = Vec::new();
+    for policy in [Policy::Baseline, Policy::OcE, Policy::OcA] {
+        let r = Runner::new(config.clone(), policy, 42).run();
+        sim_events += r.sim_events;
+        metrics.push(Metric::new(
+            format!("peak_util_pct[{}]", r.policy),
+            "percent",
+            r.utilization.max().unwrap_or(0.0),
+        ));
+        metrics.push(Metric::new(
+            format!("max_vms[{}]", r.policy),
+            "count",
+            r.max_vms as f64,
+        ));
+    }
+    (sim_events, metrics)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn static_figures_render() {
-        for f in [fig4(), fig5(), fig6(), fig7(), fig9(), fig10(), fig11(), fig12(), fig13()] {
+        for f in [
+            fig4(),
+            fig5(),
+            fig6(),
+            fig7(),
+            fig9(),
+            fig10(),
+            fig11(),
+            fig12(),
+            fig13(),
+        ] {
             assert!(f.contains("Figure"), "{f}");
             assert!(f.lines().count() >= 4);
         }

@@ -4,6 +4,9 @@
 use crate::placement::{Oversubscription, PlacementPolicy};
 use crate::server::{Server, ServerSpec};
 use crate::vm::{VmId, VmInstance, VmSpec};
+use ic_obs::json::Value;
+use ic_obs::trace::{TraceHandle, TraceLevel};
+use ic_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -49,6 +52,8 @@ pub struct Cluster {
     policy: PlacementPolicy,
     oversub: Oversubscription,
     next_id: u64,
+    trace: Option<TraceHandle>,
+    clock: SimTime,
 }
 
 impl Cluster {
@@ -57,11 +62,7 @@ impl Cluster {
     /// # Panics
     ///
     /// Panics if `specs` is empty.
-    pub fn new(
-        specs: Vec<ServerSpec>,
-        policy: PlacementPolicy,
-        oversub: Oversubscription,
-    ) -> Self {
+    pub fn new(specs: Vec<ServerSpec>, policy: PlacementPolicy, oversub: Oversubscription) -> Self {
         assert!(!specs.is_empty(), "a cluster needs servers");
         Cluster {
             servers: specs.into_iter().map(Server::new).collect(),
@@ -69,6 +70,37 @@ impl Cluster {
             policy,
             oversub,
             next_id: 0,
+            trace: None,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Attaches a trace recorder: VM lifecycle (create, delete, failover
+    /// migration) and server failures/repairs are emitted as structured
+    /// events. The cluster has no clock of its own — the driver must
+    /// keep [`set_clock`](Self::set_clock) current for event timestamps
+    /// to be meaningful.
+    pub fn attach_trace(&mut self, trace: TraceHandle) {
+        self.trace = Some(trace);
+    }
+
+    /// Sets the simulation time stamped onto subsequent trace events.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.clock = now;
+    }
+
+    /// The attached trace recorder, if any — so drivers can emit their
+    /// own events (density samples, schedule changes) into the same
+    /// stream.
+    pub fn trace_handle(&self) -> Option<&TraceHandle> {
+        self.trace.as_ref()
+    }
+
+    fn emit(&self, level: TraceLevel, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if let Some(trace) = &self.trace {
+            trace
+                .borrow_mut()
+                .emit(self.clock, "cluster", level, kind, fields);
         }
     }
 
@@ -84,7 +116,9 @@ impl Cluster {
     /// Returns [`ClusterError::UnknownServer`] if the index is out of
     /// range.
     pub fn server_mut(&mut self, index: usize) -> Result<&mut Server, ClusterError> {
-        self.servers.get_mut(index).ok_or(ClusterError::UnknownServer)
+        self.servers
+            .get_mut(index)
+            .ok_or(ClusterError::UnknownServer)
     }
 
     /// The active oversubscription setting.
@@ -104,14 +138,40 @@ impl Cluster {
     /// Returns [`ClusterError::InsufficientCapacity`] if no healthy
     /// server can host it.
     pub fn create_vm(&mut self, spec: VmSpec) -> Result<VmId, ClusterError> {
-        let host = self
-            .policy
-            .choose(&self.servers, spec.vcores(), spec.memory_gb(), self.oversub)
-            .ok_or(ClusterError::InsufficientCapacity)?;
+        let host =
+            match self
+                .policy
+                .choose(&self.servers, spec.vcores(), spec.memory_gb(), self.oversub)
+            {
+                Some(host) => host,
+                None => {
+                    self.emit(
+                        TraceLevel::Warn,
+                        "vm_reject",
+                        vec![
+                            ("vcores", Value::U64(spec.vcores() as u64)),
+                            ("memory_gb", Value::F64(spec.memory_gb())),
+                            ("density", Value::F64(self.packing_density())),
+                        ],
+                    );
+                    return Err(ClusterError::InsufficientCapacity);
+                }
+            };
         self.servers[host].allocate(spec.vcores(), spec.memory_gb());
         let id = VmId(self.next_id);
         self.next_id += 1;
         self.vms.insert(id, VmInstance { id, spec, host });
+        self.emit(
+            TraceLevel::Info,
+            "vm_create",
+            vec![
+                ("vm", Value::U64(id.0)),
+                ("host", Value::U64(host as u64)),
+                ("vcores", Value::U64(spec.vcores() as u64)),
+                ("memory_gb", Value::F64(spec.memory_gb())),
+                ("density", Value::F64(self.packing_density())),
+            ],
+        );
         Ok(id)
     }
 
@@ -127,6 +187,15 @@ impl Cluster {
         if !self.servers[vm.host].is_failed() {
             self.servers[vm.host].release(vm.spec.vcores(), vm.spec.memory_gb());
         }
+        self.emit(
+            TraceLevel::Debug,
+            "vm_delete",
+            vec![
+                ("vm", Value::U64(id.0)),
+                ("host", Value::U64(vm.host as u64)),
+                ("density", Value::F64(self.packing_density())),
+            ],
+        );
         Ok(())
     }
 
@@ -164,6 +233,14 @@ impl Cluster {
             .filter(|vm| vm.host == index)
             .cloned()
             .collect();
+        self.emit(
+            TraceLevel::Warn,
+            "server_fail",
+            vec![
+                ("server", Value::U64(index as u64)),
+                ("displaced_vms", Value::U64(displaced.len() as u64)),
+            ],
+        );
         let mut report = FailoverReport {
             recreated: Vec::new(),
             unplaced: Vec::new(),
@@ -188,9 +265,30 @@ impl Cluster {
                             host,
                         },
                     );
+                    self.emit(
+                        TraceLevel::Info,
+                        "vm_migrate",
+                        vec![
+                            ("vm", Value::U64(vm.id.0)),
+                            ("from", Value::U64(index as u64)),
+                            ("to", Value::U64(host as u64)),
+                            ("new_vm", Value::U64(id.0)),
+                        ],
+                    );
                     report.recreated.push((vm.id, host));
                 }
-                None => report.unplaced.push(vm.id),
+                None => {
+                    self.emit(
+                        TraceLevel::Warn,
+                        "vm_unplaced",
+                        vec![
+                            ("vm", Value::U64(vm.id.0)),
+                            ("from", Value::U64(index as u64)),
+                            ("vcores", Value::U64(vm.spec.vcores() as u64)),
+                        ],
+                    );
+                    report.unplaced.push(vm.id);
+                }
             }
         }
         Ok(report)
@@ -207,6 +305,11 @@ impl Cluster {
             return Err(ClusterError::UnknownServer);
         }
         self.servers[index].repair();
+        self.emit(
+            TraceLevel::Info,
+            "server_repair",
+            vec![("server", Value::U64(index as u64))],
+        );
         Ok(())
     }
 
@@ -364,6 +467,44 @@ mod tests {
         assert_eq!(c.fail_server(5), Err(ClusterError::UnknownServer));
         assert_eq!(c.repair_server(5), Err(ClusterError::UnknownServer));
         assert!(c.server_mut(5).is_err());
+    }
+
+    #[test]
+    fn traced_cluster_emits_lifecycle_events() {
+        use ic_obs::trace::{shared_recorder, TraceLevel};
+
+        let trace = shared_recorder(64);
+        let mut c = cluster(2, 16, 1.0);
+        c.attach_trace(trace.clone());
+        c.set_clock(SimTime::from_secs(10));
+        let a = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
+        let _b = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
+        // Cluster is full: the next create is rejected at Warn level.
+        assert!(c.create_vm(VmSpec::new(1, 1.0)).is_err());
+        c.set_clock(SimTime::from_secs(20));
+        // Failing a full host leaves its VM unplaced.
+        let host = c.vm(a).unwrap().host;
+        c.fail_server(host).unwrap();
+        c.repair_server(host).unwrap();
+        c.set_clock(SimTime::from_secs(30));
+        let survivor = c.vms_on(1 - host)[0].id;
+        c.delete_vm(survivor).unwrap();
+
+        let rec = trace.borrow();
+        let counts = rec.counts_by_kind();
+        assert_eq!(counts[&("cluster", "vm_create")], 2);
+        assert_eq!(counts[&("cluster", "vm_reject")], 1);
+        assert_eq!(counts[&("cluster", "server_fail")], 1);
+        assert_eq!(counts[&("cluster", "vm_unplaced")], 1);
+        assert_eq!(counts[&("cluster", "server_repair")], 1);
+        assert_eq!(counts[&("cluster", "vm_delete")], 1);
+        // Rejections and failures are anomalies: Warn level.
+        assert!(rec
+            .events()
+            .filter(|e| e.kind == "vm_reject" || e.kind == "server_fail")
+            .all(|e| e.level == TraceLevel::Warn));
+        // Timestamps come from the driver-maintained clock.
+        assert!(rec.events().any(|e| e.sim_time == SimTime::from_secs(20)));
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl VmMix {
     /// Panics if `entries` is empty or any weight is not positive.
     pub fn new(entries: Vec<(VmSpec, f64)>) -> Self {
         assert!(!entries.is_empty(), "mix needs entries");
-        assert!(entries.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
+        assert!(
+            entries.iter().all(|&(_, w)| w > 0.0),
+            "weights must be positive"
+        );
         VmMix { entries }
     }
 
@@ -134,9 +137,9 @@ pub fn run_lifecycle(
         density: TimeSeries::new("packing_density"),
         live: Vec::new(),
     };
-    engine.schedule(SimTime::ZERO, arrival);
+    engine.schedule_labeled(SimTime::ZERO, "arrival", arrival);
     // Density sampling every minute.
-    engine.schedule(SimTime::ZERO, sample_density);
+    engine.schedule_labeled(SimTime::ZERO, "density_sample", sample_density);
     engine.run_until(&mut state, horizon);
 
     let peak_density = state.density.max().unwrap_or(0.0);
@@ -149,15 +152,18 @@ pub fn run_lifecycle(
 }
 
 fn arrival(state: &mut State, engine: &mut Engine<State>) {
+    state.cluster.set_clock(engine.now());
     let spec = state.mix.pick(&mut state.rng);
     match state.cluster.create_vm(spec) {
         Ok(id) => {
             state.accepted += 1;
             state.live.push(id);
             let life = state.lifetime.sample(&mut state.rng);
-            engine.schedule_in(
+            engine.schedule_in_labeled(
                 SimDuration::from_secs_f64(life.max(1.0)),
-                move |state: &mut State, _: &mut Engine<State>| {
+                "departure",
+                move |state: &mut State, engine: &mut Engine<State>| {
+                    state.cluster.set_clock(engine.now());
                     let _ = state.cluster.delete_vm(id);
                     state.live.retain(|&v| v != id);
                 },
@@ -166,14 +172,42 @@ fn arrival(state: &mut State, engine: &mut Engine<State>) {
         Err(_) => state.rejected += 1,
     }
     let gap = state.interarrival.sample(&mut state.rng);
-    engine.schedule_in(SimDuration::from_secs_f64(gap.max(1e-3)), arrival);
+    engine.schedule_in_labeled(
+        SimDuration::from_secs_f64(gap.max(1e-3)),
+        "arrival",
+        arrival,
+    );
 }
 
 fn sample_density(state: &mut State, engine: &mut Engine<State>) {
-    state
-        .density
-        .push(engine.now(), state.cluster.packing_density());
-    engine.schedule_in(SimDuration::from_secs(60), sample_density);
+    state.cluster.set_clock(engine.now());
+    let density = state.cluster.packing_density();
+    state.density.push(engine.now(), density);
+    // Oversubscription interference: with more vcores allocated than
+    // healthy pcores, colocated VMs contend for cycles; the excess ratio
+    // is the interference pressure the paper's Section V overclocking
+    // compensates for.
+    if let Some(trace) = state.cluster.trace_handle() {
+        trace.borrow_mut().emit(
+            engine.now(),
+            "cluster",
+            if density > 1.0 {
+                ic_obs::trace::TraceLevel::Info
+            } else {
+                ic_obs::trace::TraceLevel::Debug
+            },
+            "oversub_sample",
+            vec![
+                ("density", ic_obs::json::Value::F64(density)),
+                ("oversubscribed", ic_obs::json::Value::Bool(density > 1.0)),
+                (
+                    "interference_pressure",
+                    ic_obs::json::Value::F64((density - 1.0).max(0.0)),
+                ),
+            ],
+        );
+    }
+    engine.schedule_in_labeled(SimDuration::from_secs(60), "density_sample", sample_density);
 }
 
 #[cfg(test)]
@@ -214,11 +248,11 @@ mod tests {
         );
         // Mean vcores per VM: 2·.45+4·.35+8·.15+16·.05 = 4.3.
         // Offered = 3600/20 × 4.3 = 774 vcores of 2400 → density ≈ 0.32.
-        let settled = result.density.value_at(SimTime::from_secs(8 * 3600 - 60)).unwrap();
-        assert!(
-            (0.2..0.5).contains(&settled),
-            "settled density {settled}"
-        );
+        let settled = result
+            .density
+            .value_at(SimTime::from_secs(8 * 3600 - 60))
+            .unwrap();
+        assert!((0.2..0.5).contains(&settled), "settled density {settled}");
         assert_eq!(result.rejected, 0);
     }
 
@@ -228,12 +262,7 @@ mod tests {
             mean_interarrival_s: 2.0, // 10× the load
             ..quick_config()
         };
-        let result = run_lifecycle(
-            small_cluster(4, 1.0),
-            &cfg,
-            SimTime::from_secs(4 * 3600),
-            2,
-        );
+        let result = run_lifecycle(small_cluster(4, 1.0), &cfg, SimTime::from_secs(4 * 3600), 2);
         assert!(result.rejected > 0);
         assert!(result.peak_density <= 1.0 + 1e-9);
     }
@@ -265,6 +294,25 @@ mod tests {
             (r.accepted, r.rejected, r.peak_density.to_bits())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn traced_lifecycle_records_vm_events() {
+        let trace = ic_obs::trace::shared_recorder(100_000);
+        let mut cluster = small_cluster(8, 1.2);
+        cluster.attach_trace(trace.clone());
+        let r = run_lifecycle(cluster, &quick_config(), SimTime::from_secs(3600), 5);
+        let rec = trace.borrow();
+        let counts = rec.counts_by_kind();
+        let creates = counts.get(&("cluster", "vm_create")).copied().unwrap_or(0);
+        assert_eq!(creates, r.accepted, "one vm_create per accepted VM");
+        assert!(counts.contains_key(&("cluster", "oversub_sample")));
+        // Event timestamps follow the simulation clock, not wall time.
+        let mut last = SimTime::ZERO;
+        for e in rec.events() {
+            assert!(e.sim_time >= last, "trace went backwards at seq {}", e.seq);
+            last = e.sim_time;
+        }
     }
 
     #[test]

@@ -81,9 +81,8 @@ impl PlacementPolicy {
         memory_gb: f64,
         oversub: Oversubscription,
     ) -> Option<usize> {
-        let fits = |s: &Server| {
-            s.fits(vcores, memory_gb, oversub.vcore_capacity(s.spec().pcores()))
-        };
+        let fits =
+            |s: &Server| s.fits(vcores, memory_gb, oversub.vcore_capacity(s.spec().pcores()));
         match self {
             PlacementPolicy::FirstFit => servers.iter().position(fits),
             PlacementPolicy::BestFit => servers

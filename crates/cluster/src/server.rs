@@ -163,7 +163,10 @@ impl Server {
     }
 
     pub(crate) fn release(&mut self, vcores: u32, memory_gb: f64) {
-        assert!(self.allocated_vcores >= vcores, "releasing unallocated vcores");
+        assert!(
+            self.allocated_vcores >= vcores,
+            "releasing unallocated vcores"
+        );
         self.allocated_vcores -= vcores;
         self.allocated_memory_gb = (self.allocated_memory_gb - memory_gb).max(0.0);
     }

@@ -81,9 +81,7 @@ impl fmt::Display for VmSpec {
 }
 
 /// An opaque VM identifier issued by the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VmId(pub(crate) u64);
 
 impl fmt::Display for VmId {

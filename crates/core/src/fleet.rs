@@ -124,8 +124,7 @@ impl WearLedger {
             .filter(|t| {
                 let target = t.service_target_years();
                 let remaining_time = (target - t.elapsed_years()).max(0.0);
-                t.consumed_fraction() + remaining_time / model.lifetime_years(rest_conditions)
-                    > 1.0
+                t.consumed_fraction() + remaining_time / model.lifetime_years(rest_conditions) > 1.0
             })
             .count()
     }
@@ -151,7 +150,9 @@ mod tests {
         // Fleet of 8, 2 servers on duty per quarter, rotated.
         let mut rotated = WearLedger::new(8, 5.0);
         let mut pinned = WearLedger::new(8, 5.0);
-        let pinned_duty = DutyAssignment { overclocked: vec![0, 1] };
+        let pinned_duty = DutyAssignment {
+            overclocked: vec![0, 1],
+        };
         for _ in 0..16 {
             let duty = rotated.assign_duty(2);
             rotated.record_epoch(&m, &duty, &oc(), &nominal(), 0.25, 0.8);
@@ -169,7 +170,9 @@ mod tests {
     fn pinned_duty_puts_servers_at_risk_sooner() {
         let m = model();
         let mut pinned = WearLedger::new(8, 5.0);
-        let duty = DutyAssignment { overclocked: vec![0, 1] };
+        let duty = DutyAssignment {
+            overclocked: vec![0, 1],
+        };
         // Three years of constant duty at full utilization.
         for _ in 0..12 {
             pinned.record_epoch(&m, &duty, &oc(), &nominal(), 0.25, 1.0);
@@ -197,7 +200,9 @@ mod tests {
         // Wear server 0 heavily.
         ledger.record_epoch(
             &m,
-            &DutyAssignment { overclocked: vec![0] },
+            &DutyAssignment {
+                overclocked: vec![0],
+            },
             &OperatingConditions::new(0.98, 101.0, 20.0),
             &nominal(),
             1.0,

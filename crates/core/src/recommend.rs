@@ -41,11 +41,7 @@ pub struct Recommendation {
 ///
 /// Panics if `active_cores > 28` (the tank-1 host) or `min_speedup` is
 /// negative.
-pub fn recommend(
-    delta: &CounterDelta,
-    active_cores: u32,
-    min_speedup: f64,
-) -> Recommendation {
+pub fn recommend(delta: &CounterDelta, active_cores: u32, min_speedup: f64) -> Recommendation {
     assert!(min_speedup >= 0.0, "invalid speedup threshold");
     let analysis = analyze(delta, BottleneckThresholds::default());
     let b2 = CpuConfig::b2();
@@ -79,14 +75,13 @@ pub fn recommend(
 
     let power = ServerPowerModel::tank1();
     let cores = active_cores.min(28);
-    let (config, predicted_speedup, extra_power_w) = if predicted_speedup >= min_speedup
-        && analysis.target != OverclockTarget::None
-    {
-        let extra = power.avg_power_w(&candidate, cores) - power.avg_power_w(&b2, cores);
-        (candidate, predicted_speedup, extra)
-    } else {
-        (b2, 0.0, 0.0)
-    };
+    let (config, predicted_speedup, extra_power_w) =
+        if predicted_speedup >= min_speedup && analysis.target != OverclockTarget::None {
+            let extra = power.avg_power_w(&candidate, cores) - power.avg_power_w(&b2, cores);
+            (candidate, predicted_speedup, extra)
+        } else {
+            (b2, 0.0, 0.0)
+        };
     Recommendation {
         config,
         analysis,
@@ -197,7 +192,10 @@ mod tests {
     fn power_cost_scales_with_configuration() {
         let oc1 = recommend(&delta(0.05, 0.9), 8, 0.0);
         let oc3 = recommend(&delta(0.6, 0.9), 8, 0.0);
-        assert!(oc3.extra_power_w > oc1.extra_power_w, "memory OC costs more");
+        assert!(
+            oc3.extra_power_w > oc1.extra_power_w,
+            "memory OC costs more"
+        );
     }
 
     #[test]

@@ -46,15 +46,17 @@ pub fn virtual_buffer_servers(
     tolerated_failures: u32,
     green_headroom_ratio: f64,
 ) -> u32 {
-    assert!(fleet_size > tolerated_failures, "cannot lose the whole fleet");
+    assert!(
+        fleet_size > tolerated_failures,
+        "cannot lose the whole fleet"
+    );
     assert!(
         green_headroom_ratio > 1.0,
         "virtual buffers need overclocking headroom > 1, got {green_headroom_ratio}"
     );
     // total/(total − k) <= r  ⇔  total >= k·r/(r − 1).
     let r = green_headroom_ratio;
-    let total_needed =
-        (tolerated_failures as f64 * r / (r - 1.0)).ceil() as u32;
+    let total_needed = (tolerated_failures as f64 * r / (r - 1.0)).ceil() as u32;
     total_needed.saturating_sub(fleet_size)
 }
 
@@ -140,8 +142,7 @@ mod tests {
         for _ in 0..12 {
             cluster.create_vm(VmSpec::new(12, 32.0)).unwrap();
         }
-        let report =
-            absorb_failure(&mut cluster, 0, Frequency::from_ghz(3.3)).unwrap();
+        let report = absorb_failure(&mut cluster, 0, Frequency::from_ghz(3.3)).unwrap();
         assert!(report.failover.unplaced.is_empty(), "{report:?}");
         assert_eq!(cluster.vm_count(), 12);
         // Survivors are overclocked.

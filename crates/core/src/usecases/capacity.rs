@@ -77,7 +77,11 @@ impl CapacityTimeline {
 
     /// Total denied vcore-periods without and with overclocking — the
     /// area of Figure 7's red region.
-    pub fn denied_vcore_periods(&self, headroom_ratio: f64, memory_limited_ratio: f64) -> (f64, f64) {
+    pub fn denied_vcore_periods(
+        &self,
+        headroom_ratio: f64,
+        memory_limited_ratio: f64,
+    ) -> (f64, f64) {
         let without: f64 = self.periods.iter().map(|p| p.gap_vcores()).sum();
         let with: f64 = self
             .periods

@@ -38,8 +38,7 @@ impl VmPerformanceClass {
     /// the frequency entitlement over base (performance is what is
     /// being sold).
     pub fn price_multiplier(self, domains: &OperatingDomains) -> f64 {
-        self.entitled_frequency(domains)
-            .ratio_to(domains.base())
+        self.entitled_frequency(domains).ratio_to(domains.base())
     }
 }
 

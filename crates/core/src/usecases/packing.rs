@@ -95,7 +95,9 @@ mod tests {
         let r = max_neutral_ratio(Frequency::from_ghz(3.4), Frequency::from_ghz(4.1));
         assert!((r - 4.1 / 3.4).abs() < 1e-9);
         // And a plan at exactly that ratio succeeds.
-        assert!(plan_packing(Frequency::from_ghz(3.4), Frequency::from_ghz(4.1), r - 1e-6).is_some());
+        assert!(
+            plan_packing(Frequency::from_ghz(3.4), Frequency::from_ghz(4.1), r - 1e-6).is_some()
+        );
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Minimal, deterministic JSON encoding.
+//!
+//! The hermetic build has no `serde_json`, and the observability layer
+//! needs byte-stable output anyway (the determinism tests compare whole
+//! JSONL files). This module hand-rolls the small subset we need: a
+//! [`Value`] for trace fields plus string escaping and float formatting
+//! with fixed rules (shortest round-trip via `Display`; non-finite
+//! floats become `null`).
+
+use std::fmt::Write as _;
+
+/// A structured field value attached to trace events and metric
+/// snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (emitted without a decimal point).
+    I64(i64),
+    /// Unsigned integer (emitted without a decimal point).
+    U64(u64),
+    /// Floating-point number; NaN and infinities encode as `null`.
+    F64(f64),
+    /// String (escaped per RFC 8259).
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string fields.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Appends this value's JSON encoding to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => write_f64(*v, out),
+            Value::Str(s) => write_escaped(s, out),
+        }
+    }
+
+    /// This value as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+/// Appends `v` as a JSON number. Rust's `Display` for `f64` is the
+/// shortest exact round-trip representation, which is deterministic
+/// across platforms; non-finite values have no JSON encoding and become
+/// `null`.
+pub fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a `"key":value` pair list (no braces) for the given fields.
+pub fn write_fields(fields: &[(&str, Value)], out: &mut String) {
+    for (i, (key, value)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_escaped(key, out);
+        out.push(':');
+        value.write_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::I64(-3).to_json(), "-3");
+        assert_eq!(
+            Value::U64(18_446_744_073_709_551_615).to_json(),
+            "18446744073709551615"
+        );
+        assert_eq!(Value::F64(1.5).to_json(), "1.5");
+        assert_eq!(Value::F64(1.0).to_json(), "1");
+        assert_eq!(Value::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Value::F64(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Value::str("a\"b\\c\n").to_json(), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(Value::str("\u{1}").to_json(), "\"\\u0001\"");
+        assert_eq!(Value::str("héllo").to_json(), "\"héllo\"");
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for v in [0.1, 1e-9, 123456.789, 2.2250738585072014e-308] {
+            let enc = Value::F64(v).to_json();
+            let back: f64 = enc.parse().unwrap();
+            assert_eq!(back, v, "{enc}");
+        }
+    }
+
+    #[test]
+    fn field_lists_join() {
+        let mut out = String::new();
+        write_fields(&[("a", Value::U64(1)), ("b", Value::str("x"))], &mut out);
+        assert_eq!(out, "\"a\":1,\"b\":\"x\"");
+    }
+}

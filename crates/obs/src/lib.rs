@@ -1,0 +1,52 @@
+//! `ic-obs`: structured tracing and metrics for the simulation stack.
+//!
+//! The paper's control plane (Fig. 14) runs entirely on telemetry —
+//! Aperf/Pperf counters feeding Equation 1 — yet a reproduction is only
+//! trustworthy if its *own* decisions are observable: which constraint
+//! bound a governor grant, which Equation-1 inputs triggered a scale-up,
+//! when a VM was created and where it landed. This crate is that layer:
+//!
+//! * [`metrics`] — a [`metrics::MetricsRegistry`] of labeled counters,
+//!   gauges, and constant-memory log-bin histograms (reusing
+//!   [`ic_sim::hist::LogHistogram`]), with deterministic iteration order
+//!   and a JSON snapshot.
+//! * [`trace`] — a [`trace::TraceRecorder`] ring buffer of structured
+//!   [`trace::TraceEvent`]s keyed by simulation time plus a recorder
+//!   sequence number (never wall clock — two same-seed runs produce
+//!   byte-identical output), with JSONL and CSV sinks.
+//! * [`engine_obs`] — adapters implementing
+//!   [`ic_sim::observe::EngineObserver`] so the discrete-event engine
+//!   feeds the registry without `ic-sim` depending on this crate.
+//!
+//! Everything is single-threaded (like the simulator) and heap-bounded;
+//! the only dependency besides `ic-sim` is the serde facade.
+//!
+//! # Example
+//!
+//! ```
+//! use ic_obs::trace::{TraceLevel, TraceRecorder};
+//! use ic_obs::json::Value;
+//! use ic_sim::time::SimTime;
+//!
+//! let mut rec = TraceRecorder::new(1024);
+//! rec.emit(
+//!     SimTime::from_secs(3),
+//!     "asc",
+//!     TraceLevel::Info,
+//!     "scale_out",
+//!     vec![("active_vms", Value::U64(2)), ("util", Value::F64(0.61))],
+//! );
+//! let jsonl = rec.to_jsonl();
+//! assert!(jsonl.contains("\"kind\":\"scale_out\""));
+//! assert!(jsonl.contains("\"t_ns\":3000000000"));
+//! ```
+
+pub mod engine_obs;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use engine_obs::EngineMetrics;
+pub use json::Value;
+pub use metrics::{shared_registry, MetricsHandle, MetricsRegistry};
+pub use trace::{shared_recorder, TraceEvent, TraceHandle, TraceLevel, TraceRecorder};

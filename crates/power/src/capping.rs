@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// How important a power consumer is when the budget runs short.
 /// Higher variants are throttled later.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Priority {
     /// Preemptible batch work: first to be capped.
     Batch = 0,
@@ -147,7 +145,11 @@ impl PowerAllocator {
                 remaining -= headroom;
             } else {
                 // Proportional sharing of what's left.
-                let share = if headroom > 0.0 { remaining / headroom } else { 0.0 };
+                let share = if headroom > 0.0 {
+                    remaining / headroom
+                } else {
+                    0.0
+                };
                 for &m in members {
                     let h = requests[m].demand_w - requests[m].floor_w;
                     granted[m] = requests[m].floor_w + h * share;
@@ -238,7 +240,11 @@ mod tests {
             .map(|i| {
                 req(
                     i,
-                    if i % 2 == 0 { Priority::Batch } else { Priority::Normal },
+                    if i % 2 == 0 {
+                        Priority::Batch
+                    } else {
+                        Priority::Normal
+                    },
                     10.0,
                     150.0,
                 )

@@ -98,7 +98,10 @@ impl CpuSku {
         let oc_point = Frequency::from_mhz((flat_top.mhz() as f64 * 1.23).round() as u32);
         let vf = VfCurve::from_points(
             (flat_top, nominal_v),
-            (oc_point, Voltage::from_mv((nominal_v.mv() as f64 * 0.98 / 0.90).round() as u32)),
+            (
+                oc_point,
+                Voltage::from_mv((nominal_v.mv() as f64 * 0.98 / 0.90).round() as u32),
+            ),
         );
         CpuSku {
             name: name.into(),
@@ -331,7 +334,11 @@ mod tests {
         // the tank's advantage is temperature, not power.
         let sku = CpuSku::skylake_8168();
         let a = sku.steady_state(&air_8168(), Frequency::from_ghz(3.1), sku.nominal_voltage());
-        let t = sku.steady_state(&tank_8168(), Frequency::from_ghz(3.1), sku.nominal_voltage());
+        let t = sku.steady_state(
+            &tank_8168(),
+            Frequency::from_ghz(3.1),
+            sku.nominal_voltage(),
+        );
         assert!(a.power_w > t.power_w, "leakage should drop in the tank");
         assert!((a.tj_c - t.tj_c) > 15.0, "tank should run much cooler");
     }
@@ -381,7 +388,10 @@ mod tests {
     #[test]
     fn voltage_never_below_nominal() {
         let sku = CpuSku::skylake_8180();
-        assert_eq!(sku.voltage_for(Frequency::from_ghz(1.0)), sku.nominal_voltage());
+        assert_eq!(
+            sku.voltage_for(Frequency::from_ghz(1.0)),
+            sku.nominal_voltage()
+        );
         assert!(sku.voltage_for(Frequency::from_ghz(3.3)) > sku.nominal_voltage());
     }
 

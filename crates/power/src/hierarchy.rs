@@ -246,8 +246,16 @@ mod tests {
         let total: f64 = grants.iter().map(|(_, g)| g.granted_w).sum();
         assert!(total <= 4000.0 + 1e-6, "total {total}");
         // Symmetric racks get symmetric shares.
-        let a: f64 = grants.iter().filter(|(n, _)| n == "rack-a").map(|(_, g)| g.granted_w).sum();
-        let b: f64 = grants.iter().filter(|(n, _)| n == "rack-b").map(|(_, g)| g.granted_w).sum();
+        let a: f64 = grants
+            .iter()
+            .filter(|(n, _)| n == "rack-a")
+            .map(|(_, g)| g.granted_w)
+            .sum();
+        let b: f64 = grants
+            .iter()
+            .filter(|(n, _)| n == "rack-b")
+            .map(|(_, g)| g.granted_w)
+            .sum();
         assert!((a - b).abs() < 1e-6);
     }
 
@@ -287,9 +295,15 @@ mod tests {
                 .collect();
             g.iter().sum::<f64>() / g.len() as f64
         };
-        assert!((avg("crit") - 305.0).abs() < 1e-6, "critical keeps full demand");
+        assert!(
+            (avg("crit") - 305.0).abs() < 1e-6,
+            "critical keeps full demand"
+        );
         assert!(avg("b1") < 305.0, "batch absorbs the shortfall");
-        assert!((avg("b1") - avg("b2")).abs() < 1e-6, "batch racks share equally");
+        assert!(
+            (avg("b1") - avg("b2")).abs() < 1e-6,
+            "batch racks share equally"
+        );
     }
 
     #[test]

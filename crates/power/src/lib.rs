@@ -36,8 +36,8 @@
 //! ```
 
 pub mod capping;
-pub mod hierarchy;
 pub mod cpu;
+pub mod hierarchy;
 pub mod leakage;
 pub mod rapl;
 pub mod server;

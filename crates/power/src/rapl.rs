@@ -108,9 +108,7 @@ impl RaplController {
             // the next bin still fits the cap (predictive up-step, as
             // real governors do to avoid limit cycles).
             let next = self.current.step_bins(1).clamp(self.floor, self.target);
-            let next_power = sku
-                .steady_state(iface, next, sku.voltage_for(next))
-                .power_w;
+            let next_power = sku.steady_state(iface, next, sku.voltage_for(next)).power_w;
             if next_power <= self.config.power_limit_w {
                 self.current = next;
             }
@@ -170,11 +168,8 @@ mod tests {
     #[test]
     fn generous_cap_never_throttles() {
         let sku = CpuSku::skylake_8180();
-        let mut ctl = RaplController::new(
-            RaplConfig::pl1(400.0),
-            sku.base(),
-            Frequency::from_ghz(3.3),
-        );
+        let mut ctl =
+            RaplController::new(RaplConfig::pl1(400.0), sku.base(), Frequency::from_ghz(3.3));
         for _ in 0..60 {
             assert!(!ctl.step(&sku, &tank()).throttled);
         }
@@ -184,11 +179,8 @@ mod tests {
     #[test]
     fn tight_cap_settles_below_target() {
         let sku = CpuSku::skylake_8180();
-        let mut ctl = RaplController::new(
-            RaplConfig::pl1(205.0),
-            sku.base(),
-            Frequency::from_ghz(3.3),
-        );
+        let mut ctl =
+            RaplController::new(RaplConfig::pl1(205.0), sku.base(), Frequency::from_ghz(3.3));
         let settled = ctl.settle(&sku, &tank(), 10, 500);
         assert!(settled < Frequency::from_ghz(3.3));
         // The settled point genuinely fits the cap (within the bin
@@ -204,11 +196,8 @@ mod tests {
         // inversion used by CpuSku::max_turbo.
         let sku = CpuSku::skylake_8180();
         let analytic = sku.max_turbo(&tank(), 205.0);
-        let mut ctl = RaplController::new(
-            RaplConfig::pl1(205.0),
-            sku.base(),
-            Frequency::from_ghz(3.3),
-        );
+        let mut ctl =
+            RaplController::new(RaplConfig::pl1(205.0), sku.base(), Frequency::from_ghz(3.3));
         let settled = ctl.settle(&sku, &tank(), 10, 500);
         assert!(
             settled.bins_above(analytic).abs() <= 1,
@@ -230,11 +219,8 @@ mod tests {
     #[test]
     fn recovers_when_cap_is_raised() {
         let sku = CpuSku::skylake_8180();
-        let mut ctl = RaplController::new(
-            RaplConfig::pl1(205.0),
-            sku.base(),
-            Frequency::from_ghz(3.3),
-        );
+        let mut ctl =
+            RaplController::new(RaplConfig::pl1(205.0), sku.base(), Frequency::from_ghz(3.3));
         let low = ctl.settle(&sku, &tank(), 10, 500);
         assert!(low < Frequency::from_ghz(3.3));
         // Raise the cap: the controller climbs back to target.

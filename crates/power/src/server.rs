@@ -46,12 +46,30 @@ impl ServerPower {
     pub fn open_compute_air() -> Self {
         ServerPower {
             components: vec![
-                Component { name: "cpu".into(), power_w: 410.0 },
-                Component { name: "memory".into(), power_w: 120.0 },
-                Component { name: "motherboard".into(), power_w: 26.0 },
-                Component { name: "fpga".into(), power_w: 30.0 },
-                Component { name: "storage".into(), power_w: 72.0 },
-                Component { name: "fans".into(), power_w: 42.0 },
+                Component {
+                    name: "cpu".into(),
+                    power_w: 410.0,
+                },
+                Component {
+                    name: "memory".into(),
+                    power_w: 120.0,
+                },
+                Component {
+                    name: "motherboard".into(),
+                    power_w: 26.0,
+                },
+                Component {
+                    name: "fpga".into(),
+                    power_w: 30.0,
+                },
+                Component {
+                    name: "storage".into(),
+                    power_w: 72.0,
+                },
+                Component {
+                    name: "fans".into(),
+                    power_w: 42.0,
+                },
             ],
         }
     }
@@ -63,7 +81,9 @@ impl ServerPower {
     /// Panics if any component has negative or non-finite power.
     pub fn from_components(components: Vec<Component>) -> Self {
         assert!(
-            components.iter().all(|c| c.power_w.is_finite() && c.power_w >= 0.0),
+            components
+                .iter()
+                .all(|c| c.power_w.is_finite() && c.power_w >= 0.0),
             "component power must be finite and non-negative"
         );
         ServerPower { components }
@@ -228,7 +248,9 @@ mod tests {
 
     #[test]
     fn overclocking_adds_per_socket_headroom() {
-        let s = ServerPower::open_compute_air().immersed().overclocked(100.0, 2);
+        let s = ServerPower::open_compute_air()
+            .immersed()
+            .overclocked(100.0, 2);
         assert_eq!(s.component_w("cpu"), Some(610.0));
         assert_eq!(s.total_w(), 858.0);
     }

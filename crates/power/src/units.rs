@@ -207,7 +207,10 @@ mod tests {
         let hi = Frequency::from_ghz(4.1);
         assert_eq!(Frequency::from_ghz(5.0).clamp(lo, hi), hi);
         assert_eq!(Frequency::from_ghz(1.0).clamp(lo, hi), lo);
-        assert_eq!(Frequency::from_ghz(3.7).clamp(lo, hi), Frequency::from_ghz(3.7));
+        assert_eq!(
+            Frequency::from_ghz(3.7).clamp(lo, hi),
+            Frequency::from_ghz(3.7)
+        );
     }
 
     #[test]

@@ -52,10 +52,7 @@ impl VfCurve {
             high.0,
             low.0
         );
-        assert!(
-            high.1 >= low.1,
-            "voltage must not decrease with frequency"
-        );
+        assert!(high.1 >= low.1, "voltage must not decrease with frequency");
         let slope = (high.1.mv() - low.1.mv()) as f64 / (high.0.mhz() - low.0.mhz()) as f64;
         VfCurve {
             anchor_f: low.0,
@@ -170,7 +167,10 @@ mod tests {
         // And the voltage at that frequency doesn't exceed the cap.
         assert!(c.voltage_for(f) <= Voltage::from_volts(0.98));
         // Below the floor nothing runs.
-        assert_eq!(c.max_frequency_at(Voltage::from_volts(0.5)), Frequency::ZERO);
+        assert_eq!(
+            c.max_frequency_at(Voltage::from_volts(0.5)),
+            Frequency::ZERO
+        );
     }
 
     #[test]

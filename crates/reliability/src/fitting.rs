@@ -85,9 +85,19 @@ pub fn fit_prefactors(observations: &[LifetimeObservation]) -> FittedPrefactors 
 
     let loss = |p: &[f64; 3]| -> f64 {
         let model = CompositeLifetimeModel::from_mechanisms(vec![
-            Box::new(GateOxideBreakdown { a: p[0].exp(), gamma: tddb.gamma, ea_ev: tddb.ea_ev }),
-            Box::new(Electromigration { a: p[1].exp(), ea_ev: em.ea_ev }),
-            Box::new(ThermalCycling { b: p[2].exp(), q: tc.q }),
+            Box::new(GateOxideBreakdown {
+                a: p[0].exp(),
+                gamma: tddb.gamma,
+                ea_ev: tddb.ea_ev,
+            }),
+            Box::new(Electromigration {
+                a: p[1].exp(),
+                ea_ev: em.ea_ev,
+            }),
+            Box::new(ThermalCycling {
+                b: p[2].exp(),
+                q: tc.q,
+            }),
         ]);
         observations
             .iter()

@@ -5,9 +5,7 @@
 //! see the crate-level documentation for the full comparison.
 
 pub use crate::mechanisms::OperatingConditions;
-use crate::mechanisms::{
-    Electromigration, FailureMechanism, GateOxideBreakdown, ThermalCycling,
-};
+use crate::mechanisms::{Electromigration, FailureMechanism, GateOxideBreakdown, ThermalCycling};
 use serde::{Deserialize, Serialize};
 
 /// A composite (series-system) lifetime model.
@@ -109,9 +107,8 @@ impl CompositeLifetimeModel {
         target_years: f64,
     ) -> Option<f64> {
         assert!(target_years > 0.0, "target lifetime must be positive");
-        let life_at = |tj: f64| {
-            self.lifetime_years(&OperatingConditions::new(voltage_v, tj, tj_min_c))
-        };
+        let life_at =
+            |tj: f64| self.lifetime_years(&OperatingConditions::new(voltage_v, tj, tj_min_c));
         if life_at(tj_min_c) < target_years {
             return None;
         }

@@ -294,7 +294,10 @@ mod tests {
         let wide = m.rate_per_year(&OperatingConditions::new(0.9, 101.0, 20.0));
         assert!(wide / a > 100.0);
         // Zero swing → zero rate.
-        assert_eq!(m.rate_per_year(&OperatingConditions::new(0.9, 70.0, 70.0)), 0.0);
+        assert_eq!(
+            m.rate_per_year(&OperatingConditions::new(0.9, 70.0, 70.0)),
+            0.0
+        );
     }
 
     #[test]

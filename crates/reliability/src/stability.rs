@@ -177,10 +177,7 @@ impl StabilityMonitor {
     /// Panics if the counter or clock went backwards.
     pub fn observe(&mut self, count: u64, time_months: f64) -> bool {
         assert!(count >= self.last_count, "error counter went backwards");
-        assert!(
-            time_months >= self.last_time_months,
-            "clock went backwards"
-        );
+        assert!(time_months >= self.last_time_months, "clock went backwards");
         let dt = time_months - self.last_time_months;
         let de = (count - self.last_count) as f64;
         self.last_count = count;

@@ -183,7 +183,11 @@ mod tests {
         let m = model();
         let mut wear = WearTracker::new(5.0);
         wear.accrue(&m, &air_oc(), 0.5);
-        assert!(wear.consumed_fraction() > 0.5, "{}", wear.consumed_fraction());
+        assert!(
+            wear.consumed_fraction() > 0.5,
+            "{}",
+            wear.consumed_fraction()
+        );
         assert!(!wear.can_afford(&m, &air_oc(), 1.0, &hfe_nominal()));
     }
 

@@ -8,18 +8,24 @@
 //! the baseline and the overclocking auto-scalers must see identical
 //! arrival sequences.
 
+use crate::observe::{EngineObserver, EventRecord};
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::time::Instant;
 
 /// An event handler: runs against the simulation state and may schedule
 /// further events through the engine.
 pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
 
+/// The label given to events scheduled without an explicit kind.
+pub const UNLABELED_EVENT: &str = "event";
+
 struct Scheduled<S> {
     at: SimTime,
     seq: u64,
+    kind: &'static str,
     run: EventFn<S>,
 }
 
@@ -74,6 +80,7 @@ pub struct Engine<S> {
     queue: BinaryHeap<Scheduled<S>>,
     seq: u64,
     processed: u64,
+    observer: Option<Box<dyn EngineObserver>>,
 }
 
 impl<S> Engine<S> {
@@ -85,7 +92,22 @@ impl<S> Engine<S> {
             queue: BinaryHeap::new(),
             seq: 0,
             processed: 0,
+            observer: None,
         }
+    }
+
+    /// Attaches an observer that receives one
+    /// [`EventRecord`](crate::observe::EventRecord) per executed event.
+    /// Replaces any previous observer. Observation never changes
+    /// simulation behavior — only with an observer attached does the
+    /// engine pay for wall-clock timing.
+    pub fn set_observer(&mut self, observer: Box<dyn EngineObserver>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the current observer, if any.
+    pub fn take_observer(&mut self) -> Option<Box<dyn EngineObserver>> {
+        self.observer.take()
     }
 
     /// The current simulation instant.
@@ -113,6 +135,20 @@ impl<S> Engine<S> {
     where
         F: FnOnce(&mut S, &mut Engine<S>) + 'static,
     {
+        self.schedule_labeled(at, UNLABELED_EVENT, event);
+    }
+
+    /// Schedules `event` at absolute time `at` under a `kind` label that
+    /// observers see in per-event records (e.g. `"arrival"`,
+    /// `"control_step"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_labeled<F>(&mut self, at: SimTime, kind: &'static str, event: F)
+    where
+        F: FnOnce(&mut S, &mut Engine<S>) + 'static,
+    {
         assert!(
             at >= self.now,
             "cannot schedule at {at} before current time {}",
@@ -123,6 +159,7 @@ impl<S> Engine<S> {
         self.queue.push(Scheduled {
             at,
             seq,
+            kind,
             run: Box::new(event),
         });
     }
@@ -133,6 +170,15 @@ impl<S> Engine<S> {
         F: FnOnce(&mut S, &mut Engine<S>) + 'static,
     {
         self.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` to fire `delay` after the current instant, under
+    /// a `kind` label that observers see in per-event records.
+    pub fn schedule_in_labeled<F>(&mut self, delay: SimDuration, kind: &'static str, event: F)
+    where
+        F: FnOnce(&mut S, &mut Engine<S>) + 'static,
+    {
+        self.schedule_labeled(self.now + delay, kind, event);
     }
 
     /// Runs events until the queue is empty. Returns the number of events
@@ -153,9 +199,12 @@ impl<S> Engine<S> {
             let ev = self.queue.pop().expect("peeked event vanished");
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
+            let kind = ev.kind;
+            let started = self.observer.as_ref().map(|_| Instant::now());
             (ev.run)(state, self);
             self.processed += 1;
             executed += 1;
+            self.notify_observer(kind, started);
         }
         if deadline != SimTime::MAX && deadline > self.now {
             self.now = deadline;
@@ -168,9 +217,27 @@ impl<S> Engine<S> {
     pub fn step(&mut self, state: &mut S) -> Option<SimTime> {
         let ev = self.queue.pop()?;
         self.now = ev.at;
+        let kind = ev.kind;
+        let started = self.observer.as_ref().map(|_| Instant::now());
         (ev.run)(state, self);
         self.processed += 1;
+        self.notify_observer(kind, started);
         Some(self.now)
+    }
+
+    /// Delivers one post-event record to the observer, if attached.
+    /// `started` is `Some` exactly when an observer was attached before
+    /// the handler ran; a handler that detaches the observer mid-flight
+    /// simply loses that one record.
+    fn notify_observer(&mut self, kind: &'static str, started: Option<Instant>) {
+        if let (Some(observer), Some(started)) = (self.observer.as_mut(), started) {
+            observer.on_event(&EventRecord {
+                at: self.now,
+                kind,
+                queue_depth: self.queue.len(),
+                wall_seconds: started.elapsed().as_secs_f64(),
+            });
+        }
     }
 
     /// The timestamp of the next pending event, if any.
@@ -196,6 +263,7 @@ impl<S> fmt::Debug for Engine<S> {
             .field("now", &self.now)
             .field("pending", &self.queue.len())
             .field("processed", &self.processed)
+            .field("observed", &self.observer.is_some())
             .finish()
     }
 }
@@ -220,7 +288,9 @@ mod tests {
     fn ties_break_by_insertion_order() {
         let mut engine: Engine<Vec<u32>> = Engine::new();
         for i in 0..5 {
-            engine.schedule(SimTime::from_secs(1), move |log: &mut Vec<u32>, _| log.push(i));
+            engine.schedule(SimTime::from_secs(1), move |log: &mut Vec<u32>, _| {
+                log.push(i)
+            });
         }
         let mut log = Vec::new();
         engine.run(&mut log);
@@ -286,6 +356,55 @@ mod tests {
         let mut count = 0;
         engine.run(&mut count);
         assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn observer_sees_labeled_events() {
+        use crate::observe::{EngineObserver, EventRecord};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct KindLog(Rc<RefCell<Vec<(&'static str, usize)>>>);
+        impl EngineObserver for KindLog {
+            fn on_event(&mut self, r: &EventRecord) {
+                self.0.borrow_mut().push((r.kind, r.queue_depth));
+            }
+        }
+
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut engine: Engine<u32> = Engine::new();
+        engine.set_observer(Box::new(KindLog(Rc::clone(&log))));
+        engine.schedule_labeled(SimTime::from_secs(1), "arrival", |c, e| {
+            *c += 1;
+            e.schedule_in_labeled(SimDuration::from_secs(1), "departure", |c, _| *c += 1);
+        });
+        engine.schedule(SimTime::from_secs(3), |c, _| *c += 1);
+        let mut count = 0;
+        engine.run(&mut count);
+        // After "arrival" runs it has scheduled "departure", so depth is 2
+        // (departure + the unlabeled event); depths then drain to 0.
+        assert_eq!(
+            *log.borrow(),
+            vec![("arrival", 2), ("departure", 1), (UNLABELED_EVENT, 0)]
+        );
+    }
+
+    #[test]
+    fn observer_does_not_change_execution() {
+        fn build() -> Engine<Vec<u32>> {
+            let mut engine: Engine<Vec<u32>> = Engine::new();
+            engine.schedule(SimTime::from_secs(2), |log, _| log.push(2));
+            engine.schedule(SimTime::from_secs(1), |log, _| log.push(1));
+            engine
+        }
+        let mut plain = build();
+        let mut observed = build();
+        observed.set_observer(Box::new(crate::observe::CountingObserver::default()));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        plain.run(&mut a);
+        observed.run(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(plain.now(), observed.now());
     }
 
     #[test]

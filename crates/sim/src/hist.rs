@@ -43,7 +43,10 @@ impl LogHistogram {
     ///
     /// Panics if `first_edge <= 0`, `growth <= 1`, or `bins == 0`.
     pub fn new(first_edge: f64, growth: f64, bins: usize) -> Self {
-        assert!(first_edge > 0.0 && first_edge.is_finite(), "invalid first edge");
+        assert!(
+            first_edge > 0.0 && first_edge.is_finite(),
+            "invalid first edge"
+        );
         assert!(growth > 1.0 && growth.is_finite(), "growth must exceed 1");
         assert!(bins > 0, "need at least one bin");
         LogHistogram {

@@ -30,6 +30,7 @@
 pub mod dist;
 pub mod engine;
 pub mod hist;
+pub mod observe;
 pub mod rng;
 pub mod series;
 pub mod stats;

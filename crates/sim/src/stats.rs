@@ -74,7 +74,11 @@ impl Tally {
 
     /// The maximum sample, or 0 if empty.
     pub fn max(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::MIN, f64::max).max(0.0)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max)
+            .max(0.0)
     }
 
     /// The `q`-quantile (e.g. `0.95` for P95) by nearest rank, or 0 if

@@ -264,16 +264,27 @@ mod tests {
         let late = SimTime::from_secs(5);
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
     fn ordering_is_total() {
-        let mut times = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        let mut times = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
         times.sort();
         assert_eq!(
             times,
-            vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(3)
+            ]
         );
     }
 

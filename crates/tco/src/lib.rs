@@ -166,11 +166,7 @@ impl TcoModel {
     /// # Panics
     ///
     /// Panics if `oversub_ratio < 1` or is not finite.
-    pub fn cost_per_vcore_relative(
-        &self,
-        scenario: CoolingScenario,
-        oversub_ratio: f64,
-    ) -> f64 {
+    pub fn cost_per_vcore_relative(&self, scenario: CoolingScenario, oversub_ratio: f64) -> f64 {
         assert!(
             oversub_ratio >= 1.0 && oversub_ratio.is_finite(),
             "invalid oversubscription ratio {oversub_ratio}"
@@ -204,8 +200,7 @@ impl TcoModel {
             "Cost per physical core",
             format!(
                 "{:+.0}%",
-                (self.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 1.0)
-                    * 100.0
+                (self.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 1.0) * 100.0
             ),
             format!(
                 "{:+.0}%",
@@ -272,8 +267,7 @@ mod tests {
     fn table6_bottom_line() {
         let m = TcoModel::paper();
         assert!(
-            (m.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 0.93).abs()
-                < 1e-9
+            (m.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 0.93).abs() < 1e-9
         );
         assert!(
             (m.cost_per_pcore_relative(CoolingScenario::Overclockable2pic) - 0.96).abs() < 1e-9
@@ -347,8 +341,7 @@ mod tests {
         let oc = abs.usd_per_pcore_month(&m, CoolingScenario::Overclockable2pic);
         assert!((oc - 19.2).abs() < 1e-9);
         // A million-core fleet at −7 % saves 7 % × $20 × 12 × 1e6.
-        let save =
-            abs.annual_savings_usd(&m, CoolingScenario::NonOverclockable2pic, 1_000_000);
+        let save = abs.annual_savings_usd(&m, CoolingScenario::NonOverclockable2pic, 1_000_000);
         assert!((save - 0.07 * 20.0 * 12.0 * 1e6).abs() < 1.0);
     }
 
@@ -360,7 +353,10 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(CoolingScenario::Overclockable2pic.label(), "Overclockable 2PIC");
+        assert_eq!(
+            CoolingScenario::Overclockable2pic.label(),
+            "Overclockable 2PIC"
+        );
         assert_eq!(CostComponent::DcConstruction.to_string(), "DC construction");
     }
 }

@@ -31,7 +31,10 @@
 /// assert!((u - 0.8 * (0.5 * 3.4 / 4.1 + 0.5)).abs() < 1e-12);
 /// ```
 pub fn predict_utilization(util: f64, productivity: f64, f0: f64, f1: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&util), "utilization {util} outside [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&util),
+        "utilization {util} outside [0, 1]"
+    );
     assert!(
         (0.0..=1.0).contains(&productivity),
         "productivity {productivity} outside [0, 1]"

@@ -183,8 +183,14 @@ mod tests {
             "air {air_swing:.1} vs tank {tank_swing:.1}"
         );
         // Table V magnitudes: air ~81 °C (20–101), FC-3284 ~24 °C.
-        assert!((60.0..100.0).contains(&air_swing), "air swing {air_swing:.1}");
-        assert!((15.0..35.0).contains(&tank_swing), "tank swing {tank_swing:.1}");
+        assert!(
+            (60.0..100.0).contains(&air_swing),
+            "air swing {air_swing:.1}"
+        );
+        assert!(
+            (15.0..35.0).contains(&tank_swing),
+            "tank swing {tank_swing:.1}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub enum Metric {
 impl Metric {
     /// `true` when a smaller metric value is an improvement.
     pub fn lower_is_better(self) -> bool {
-        matches!(self, Metric::P95Latency | Metric::P99Latency | Metric::Seconds)
+        matches!(
+            self,
+            Metric::P95Latency | Metric::P99Latency | Metric::Seconds
+        )
     }
 }
 
@@ -360,8 +363,16 @@ mod tests {
     fn table9_inventory() {
         let apps = AppProfile::catalog();
         assert_eq!(apps.len(), 11);
-        assert_eq!(apps.iter().filter(|a| a.origin() == Origin::InHouse).count(), 5);
-        assert_eq!(apps.iter().filter(|a| a.origin() == Origin::Public).count(), 6);
+        assert_eq!(
+            apps.iter()
+                .filter(|a| a.origin() == Origin::InHouse)
+                .count(),
+            5
+        );
+        assert_eq!(
+            apps.iter().filter(|a| a.origin() == Origin::Public).count(),
+            6
+        );
     }
 
     #[test]
@@ -434,7 +445,9 @@ mod tests {
     fn cpu_suite_excludes_gpu_and_stream() {
         let suite = AppProfile::cpu_suite();
         assert_eq!(suite.len(), 9);
-        assert!(suite.iter().all(|a| a.name() != "VGG" && a.name() != "STREAM"));
+        assert!(suite
+            .iter()
+            .all(|a| a.name() != "VGG" && a.name() != "STREAM"));
     }
 
     #[test]

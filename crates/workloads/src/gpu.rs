@@ -146,12 +146,42 @@ impl VggModel {
         // variants (B) keep the GPU's arithmetic units saturated, so
         // their memory share is minimal.
         vec![
-            VggModel { name: "VGG11", compute_share: 0.72, memory_share: 0.18, fixed_share: 0.10 },
-            VggModel { name: "VGG13", compute_share: 0.75, memory_share: 0.16, fixed_share: 0.09 },
-            VggModel { name: "VGG16", compute_share: 0.78, memory_share: 0.14, fixed_share: 0.08 },
-            VggModel { name: "VGG19", compute_share: 0.80, memory_share: 0.13, fixed_share: 0.07 },
-            VggModel { name: "VGG11B", compute_share: 0.86, memory_share: 0.06, fixed_share: 0.08 },
-            VggModel { name: "VGG16B", compute_share: 0.91, memory_share: 0.02, fixed_share: 0.07 },
+            VggModel {
+                name: "VGG11",
+                compute_share: 0.72,
+                memory_share: 0.18,
+                fixed_share: 0.10,
+            },
+            VggModel {
+                name: "VGG13",
+                compute_share: 0.75,
+                memory_share: 0.16,
+                fixed_share: 0.09,
+            },
+            VggModel {
+                name: "VGG16",
+                compute_share: 0.78,
+                memory_share: 0.14,
+                fixed_share: 0.08,
+            },
+            VggModel {
+                name: "VGG19",
+                compute_share: 0.80,
+                memory_share: 0.13,
+                fixed_share: 0.07,
+            },
+            VggModel {
+                name: "VGG11B",
+                compute_share: 0.86,
+                memory_share: 0.06,
+                fixed_share: 0.08,
+            },
+            VggModel {
+                name: "VGG16B",
+                compute_share: 0.91,
+                memory_share: 0.02,
+                fixed_share: 0.07,
+            },
         ]
     }
 
@@ -275,7 +305,12 @@ mod tests {
     fn all_models_improve_under_every_overclock() {
         for m in VggModel::suite() {
             for cfg in [GpuConfig::ocg1(), GpuConfig::ocg2(), GpuConfig::ocg3()] {
-                assert!(m.normalized_time(&cfg) < 1.0, "{} under {}", m.name(), cfg.name());
+                assert!(
+                    m.normalized_time(&cfg) < 1.0,
+                    "{} under {}",
+                    m.name(),
+                    cfg.name()
+                );
             }
         }
     }

@@ -265,6 +265,9 @@ mod tests {
         let train = SpikeTrain::new().spike(50.0, 100.0, 2.0);
         let out = train.apply(&base);
         // Boundaries: 0, 50, 150, 200.
-        assert_eq!(out, vec![(0.0, 100.0), (50.0, 200.0), (150.0, 100.0), (200.0, 200.0)]);
+        assert_eq!(
+            out,
+            vec![(0.0, 100.0), (50.0, 200.0), (150.0, 100.0), (200.0, 200.0)]
+        );
     }
 }

@@ -66,7 +66,9 @@ struct Inner {
 
 impl Inner {
     fn active_vm_ids(&self) -> Vec<VmId> {
-        (0..self.vms.len()).filter(|&i| self.vms[i].active).collect()
+        (0..self.vms.len())
+            .filter(|&i| self.vms[i].active)
+            .collect()
     }
 
     fn route(&mut self) -> Option<VmId> {
@@ -147,6 +149,19 @@ impl ClientServerSim {
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Discrete events executed by the underlying engine so far — the
+    /// cost figure experiment reports cite alongside their results.
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Attaches an engine observer (see
+    /// [`ic_sim::observe::EngineObserver`]) that receives one record per
+    /// executed simulation event.
+    pub fn set_observer(&mut self, observer: Box<dyn ic_sim::observe::EngineObserver>) {
+        self.engine.set_observer(observer);
     }
 
     /// Adds a server VM, immediately active. (Model VM-creation latency
@@ -237,9 +252,7 @@ impl ClientServerSim {
     /// time. Use [`ic_telemetry::counters::CounterSample::since`] between
     /// two snapshots.
     pub fn sample(&self, id: VmId) -> CounterSample {
-        self.inner.vms[id]
-            .counters
-            .sample(self.now().as_secs_f64())
+        self.inner.vms[id].counters.sample(self.now().as_secs_f64())
     }
 
     /// Busy-core utilization of a VM since an `earlier` snapshot, in
@@ -301,10 +314,7 @@ fn arrival_event(inner: &mut Inner, engine: &mut Engine<Inner>) {
     match inner.route() {
         Some(vm_id) => {
             let vm = &mut inner.vms[vm_id];
-            vm.queue.push_back(Arrival {
-                at: now,
-                demand_s,
-            });
+            vm.queue.push_back(Arrival { at: now, demand_s });
             try_dispatch(inner, engine, vm_id);
         }
         None => inner.dropped += 1,

@@ -69,10 +69,22 @@ impl Scenario {
         Scenario {
             name: "Scenario 1",
             entries: vec![
-                VmEntry { app: AppProfile::sql(), count: 1 },
-                VmEntry { app: AppProfile::bi(), count: 1 },
-                VmEntry { app: AppProfile::specjbb(), count: 1 },
-                VmEntry { app: AppProfile::terasort(), count: 2 },
+                VmEntry {
+                    app: AppProfile::sql(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::bi(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::specjbb(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::terasort(),
+                    count: 2,
+                },
             ],
             pcores: 16,
         }
@@ -83,10 +95,22 @@ impl Scenario {
         Scenario {
             name: "Scenario 2",
             entries: vec![
-                VmEntry { app: AppProfile::sql(), count: 1 },
-                VmEntry { app: AppProfile::bi(), count: 1 },
-                VmEntry { app: AppProfile::specjbb(), count: 2 },
-                VmEntry { app: AppProfile::terasort(), count: 1 },
+                VmEntry {
+                    app: AppProfile::sql(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::bi(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::specjbb(),
+                    count: 2,
+                },
+                VmEntry {
+                    app: AppProfile::terasort(),
+                    count: 1,
+                },
             ],
             pcores: 16,
         }
@@ -97,10 +121,22 @@ impl Scenario {
         Scenario {
             name: "Scenario 3",
             entries: vec![
-                VmEntry { app: AppProfile::sql(), count: 2 },
-                VmEntry { app: AppProfile::bi(), count: 1 },
-                VmEntry { app: AppProfile::specjbb(), count: 1 },
-                VmEntry { app: AppProfile::terasort(), count: 1 },
+                VmEntry {
+                    app: AppProfile::sql(),
+                    count: 2,
+                },
+                VmEntry {
+                    app: AppProfile::bi(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::specjbb(),
+                    count: 1,
+                },
+                VmEntry {
+                    app: AppProfile::terasort(),
+                    count: 1,
+                },
             ],
             pcores: 16,
         }
@@ -128,10 +164,7 @@ impl Scenario {
 
     /// Total vcores requested by all VMs (20 in every Table X scenario).
     pub fn total_vcores(&self) -> u32 {
-        self.entries
-            .iter()
-            .map(|e| e.app.cores() * e.count)
-            .sum()
+        self.entries.iter().map(|e| e.app.cores() * e.count).sum()
     }
 
     /// The oversubscription ratio `vcores/pcores`.
@@ -163,7 +196,11 @@ impl Scenario {
         self.entries
             .iter()
             .map(|e| {
-                let gamma = if e.app.is_latency_sensitive() { GAMMA_LS } else { 1.0 };
+                let gamma = if e.app.is_latency_sensitive() {
+                    GAMMA_LS
+                } else {
+                    1.0
+                };
                 let contention = f.powf(gamma);
                 let crosstalk = if oversubscribed && !e.app.is_latency_sensitive() {
                     let sens = |a: &AppProfile| a.bottleneck().llc + a.bottleneck().memory;
@@ -171,9 +208,7 @@ impl Scenario {
                     let pressure: f64 = self
                         .entries
                         .iter()
-                        .flat_map(|other| {
-                            (0..other.count).map(move |_| other)
-                        })
+                        .flat_map(|other| (0..other.count).map(move |_| other))
                         .filter(|other| !other.app.is_latency_sensitive())
                         .map(|other| sens(&other.app) * other.app.cores() as f64)
                         .sum::<f64>()
@@ -267,7 +302,10 @@ mod tests {
                 .filter(|r| r.app == "SQL" || r.app == "SPECJBB")
                 .map(|r| r.improvement_pct)
                 .fold(f64::INFINITY, f64::min);
-            for r in results.iter().filter(|r| r.app == "BI" || r.app == "TeraSort") {
+            for r in results
+                .iter()
+                .filter(|r| r.app == "BI" || r.app == "TeraSort")
+            {
                 assert!(
                     r.improvement_pct > worst_ls,
                     "{}: batch {} ({:.1}%) should degrade less than worst LS ({:.1}%)",
@@ -311,7 +349,10 @@ mod tests {
             .filter(|r| r.config == "OC3")
             .map(|r| r.improvement_pct)
             .fold(0.0, f64::max);
-        assert!((13.0..=18.0).contains(&best), "best OC3 improvement {best:.1}%");
+        assert!(
+            (13.0..=18.0).contains(&best),
+            "best OC3 improvement {best:.1}%"
+        );
     }
 
     #[test]
@@ -328,11 +369,16 @@ mod tests {
         // A scenario that fits in its pcores shows pure frequency response.
         let s = Scenario {
             name: "fits",
-            entries: vec![VmEntry { app: AppProfile::terasort(), count: 2 }],
+            entries: vec![VmEntry {
+                app: AppProfile::terasort(),
+                count: 2,
+            }],
             pcores: 16,
         };
         let r = s.evaluate(&CpuConfig::oc3());
-        let expected = (1.0 - time_ratio(&AppProfile::terasort(), &CpuConfig::oc3(), &CpuConfig::b2())) * 100.0;
+        let expected = (1.0
+            - time_ratio(&AppProfile::terasort(), &CpuConfig::oc3(), &CpuConfig::b2()))
+            * 100.0;
         assert!((r[0].improvement_pct - expected).abs() < 1e-9);
     }
 }

@@ -99,15 +99,18 @@ impl ServerPowerModel {
             .squared_ratio_to(Voltage::from_volts(0.90));
         let uncore = self.uncore_w * cfg.llc_ratio_to(&b2) * v_ratio2;
         let mem = self.mem_w * cfg.memory_ratio_to(&b2).powi(2);
-        let cores =
-            self.per_core_w * active_cores as f64 * cfg.core_ratio_to(&b2) * v_ratio2;
+        let cores = self.per_core_w * active_cores as f64 * cfg.core_ratio_to(&b2) * v_ratio2;
         self.rest_w + uncore + mem + cores
     }
 
     /// P99 server power: average plus the application's burst headroom
     /// (latency-sensitive applications burst harder).
     pub fn p99_power_w(&self, cfg: &CpuConfig, active_cores: u32, app: &AppProfile) -> f64 {
-        let factor = if app.is_latency_sensitive() { 1.08 } else { 1.03 };
+        let factor = if app.is_latency_sensitive() {
+            1.08
+        } else {
+            1.03
+        };
         self.avg_power_w(cfg, active_cores) * factor
     }
 }
@@ -196,7 +199,11 @@ mod tests {
             let core_dominates = oc1_step >= llc_step && oc1_step >= mem_step;
             match app.name() {
                 "TeraSort" | "DiskSpeed" => {
-                    assert!(!core_dominates, "{} should not be core-dominated", app.name())
+                    assert!(
+                        !core_dominates,
+                        "{} should not be core-dominated",
+                        app.name()
+                    )
                 }
                 _ => assert!(core_dominates, "{} should be core-dominated", app.name()),
             }
@@ -239,8 +246,8 @@ mod tests {
     fn oc3_power_increase_29_to_33_pct() {
         let m = ServerPowerModel::tank1();
         for cores in [12u32, 16] {
-            let ratio = m.avg_power_w(&CpuConfig::oc3(), cores)
-                / m.avg_power_w(&CpuConfig::b2(), cores);
+            let ratio =
+                m.avg_power_w(&CpuConfig::oc3(), cores) / m.avg_power_w(&CpuConfig::b2(), cores);
             assert!(
                 (1.28..=1.36).contains(&ratio),
                 "{cores} cores: ratio {ratio:.3}"
@@ -256,8 +263,15 @@ mod tests {
         let oc1 = m.avg_power_w(&CpuConfig::oc1(), 4);
         let oc2 = m.avg_power_w(&CpuConfig::oc2(), 4);
         let oc3 = m.avg_power_w(&CpuConfig::oc3(), 4);
-        assert!((oc2 - oc1) / oc1 < 0.05, "llc adds {:.1}%", (oc2 - oc1) / oc1 * 100.0);
-        assert!(oc3 - oc2 > oc2 - oc1, "memory OC should dominate the power adders");
+        assert!(
+            (oc2 - oc1) / oc1 < 0.05,
+            "llc adds {:.1}%",
+            (oc2 - oc1) / oc1 * 100.0
+        );
+        assert!(
+            oc3 - oc2 > oc2 - oc1,
+            "memory OC should dominate the power adders"
+        );
     }
 
     #[test]

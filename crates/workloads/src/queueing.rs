@@ -60,13 +60,13 @@ impl MgkQueue {
     pub fn new(k: u32, lambda: f64, service_mean: f64, scv: f64) -> Self {
         assert!(k > 0, "need at least one server");
         assert!(lambda > 0.0 && lambda.is_finite(), "invalid lambda");
-        assert!(service_mean > 0.0 && service_mean.is_finite(), "invalid service mean");
+        assert!(
+            service_mean > 0.0 && service_mean.is_finite(),
+            "invalid service mean"
+        );
         assert!(scv >= 0.0 && scv.is_finite(), "invalid SCV");
         let a = lambda * service_mean;
-        assert!(
-            a < k as f64,
-            "unstable: offered load {a:.2} >= servers {k}"
-        );
+        assert!(a < k as f64, "unstable: offered load {a:.2} >= servers {k}");
         MgkQueue {
             k,
             lambda,
@@ -112,7 +112,10 @@ impl MgkQueue {
     ///
     /// Panics if `q` is outside `(0, 1)`.
     pub fn sojourn_quantile(&self, q: f64) -> f64 {
-        assert!((0.0..1.0).contains(&q) && q > 0.0, "quantile {q} outside (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&q) && q > 0.0,
+            "quantile {q} outside (0, 1)"
+        );
         let c = self.wait_probability();
         let mu = 1.0 / self.service_mean;
         let drain = self.k as f64 * mu * (1.0 - self.utilization()) * 2.0 / (1.0 + self.scv);

@@ -30,10 +30,7 @@ impl LatencySlo {
     pub fn new(quantile: f64, target_s: f64) -> Self {
         assert!(quantile > 0.0 && quantile < 1.0, "invalid quantile");
         assert!(target_s > 0.0 && target_s.is_finite(), "invalid target");
-        LatencySlo {
-            quantile,
-            target_s,
-        }
+        LatencySlo { quantile, target_s }
     }
 }
 
@@ -121,10 +118,9 @@ mod tests {
     fn figure12_shape_generalizes() {
         // At the Figure 12 operating point, a 20.6 % core overclock
         // (with SQL's full OC3 speedup ~1.21) frees several of 16 cores.
-        let (base, oc) =
-            reclaimed_capacity(1150.0, 0.01, 1.5, slo_ms(34.0), 1.206, 64).unwrap();
+        let (base, oc) = reclaimed_capacity(1150.0, 0.01, 1.5, slo_ms(34.0), 1.206, 64).unwrap();
         assert!(base >= oc + 2, "base {base} vs oc {oc}");
-        assert!(base >= 14 && base <= 18, "base {base}");
+        assert!((14..=18).contains(&base), "base {base}");
     }
 
     #[test]

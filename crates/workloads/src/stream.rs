@@ -173,13 +173,8 @@ mod tests {
         // "As expected, the power draw increases with the aggressiveness
         // of overclocking (10 % average power increase)."
         let sweep = figure10_sweep();
-        let b1_power = sweep
-            .iter()
-            .find(|p| p.config == "B1")
-            .unwrap()
-            .avg_power_w;
-        let mean: f64 =
-            sweep.iter().map(|p| p.avg_power_w).sum::<f64>() / sweep.len() as f64;
+        let b1_power = sweep.iter().find(|p| p.config == "B1").unwrap().avg_power_w;
+        let mean: f64 = sweep.iter().map(|p| p.avg_power_w).sum::<f64>() / sweep.len() as f64;
         let increase = mean / b1_power - 1.0;
         assert!(
             (0.05..=0.20).contains(&increase),
@@ -193,8 +188,7 @@ mod tests {
         let m = StreamModel::calibrated();
         let cfg = CpuConfig::b2();
         assert!(
-            m.bandwidth_mbps(StreamKernel::Add, &cfg)
-                > m.bandwidth_mbps(StreamKernel::Copy, &cfg)
+            m.bandwidth_mbps(StreamKernel::Add, &cfg) > m.bandwidth_mbps(StreamKernel::Copy, &cfg)
         );
         assert!(
             m.bandwidth_mbps(StreamKernel::Triad, &cfg)
@@ -206,7 +200,9 @@ mod tests {
     fn sweep_covers_all_configs_and_kernels() {
         let sweep = figure10_sweep();
         assert_eq!(sweep.len(), 7 * 4);
-        assert!(sweep.iter().any(|p| p.config == "OC3" && p.kernel == "triad"));
+        assert!(sweep
+            .iter()
+            .any(|p| p.config == "OC3" && p.kernel == "triad"));
     }
 
     #[test]
@@ -214,9 +210,7 @@ mod tests {
         let m = StreamModel::calibrated();
         // B3 → B4 changes only the memory clock.
         for k in StreamKernel::all() {
-            assert!(
-                m.bandwidth_mbps(k, &CpuConfig::b4()) > m.bandwidth_mbps(k, &CpuConfig::b3())
-            );
+            assert!(m.bandwidth_mbps(k, &CpuConfig::b4()) > m.bandwidth_mbps(k, &CpuConfig::b3()));
         }
     }
 }

@@ -14,16 +14,31 @@ fn main() {
     // A year of quarters: demand grows faster than forecast while a new
     // building slips two quarters.
     let timeline = CapacityTimeline::new(vec![
-        CapacitySnapshot { demand_vcores: 80_000.0, supply_vcores: 100_000.0 },
-        CapacitySnapshot { demand_vcores: 105_000.0, supply_vcores: 100_000.0 },
-        CapacitySnapshot { demand_vcores: 118_000.0, supply_vcores: 100_000.0 },
-        CapacitySnapshot { demand_vcores: 126_000.0, supply_vcores: 150_000.0 },
+        CapacitySnapshot {
+            demand_vcores: 80_000.0,
+            supply_vcores: 100_000.0,
+        },
+        CapacitySnapshot {
+            demand_vcores: 105_000.0,
+            supply_vcores: 100_000.0,
+        },
+        CapacitySnapshot {
+            demand_vcores: 118_000.0,
+            supply_vcores: 100_000.0,
+        },
+        CapacitySnapshot {
+            demand_vcores: 126_000.0,
+            supply_vcores: 150_000.0,
+        },
     ]);
 
     let headroom = 1.22; // overclocking compensates up to 22 % oversubscription
     let memory_cap = 1.15; // stranded memory covers 15 % more VMs
 
-    println!("{:>8} {:>12} {:>12} {:>10} {:>10}", "Quarter", "Demand", "Supply", "Gap", "Bridged?");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10} {:>10}",
+        "Quarter", "Demand", "Supply", "Gap", "Bridged?"
+    );
     for (i, p) in timeline.periods().iter().enumerate() {
         println!(
             "{:>8} {:>12.0} {:>12.0} {:>10.0} {:>10}",

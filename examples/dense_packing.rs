@@ -70,9 +70,7 @@ fn main() {
     //    cores needed to hold a P95 target, base vs overclocked.
     use immersion_cloud::workloads::slo::{reclaimed_capacity, LatencySlo};
     let slo = LatencySlo::new(0.95, 0.034);
-    if let Some((base_cores, oc_cores)) =
-        reclaimed_capacity(1150.0, 0.010, 1.5, slo, 1.206, 64)
-    {
+    if let Some((base_cores, oc_cores)) = reclaimed_capacity(1150.0, 0.010, 1.5, slo, 1.206, 64) {
         println!(
             "\nHolding a 34 ms P95 at 1150 QPS: {base_cores} cores at B2 vs {oc_cores} overclocked \
              ({} cores reclaimed)",

@@ -49,8 +49,8 @@ fn main() {
         cluster.packing_density()
     );
 
-    let report = absorb_failure(&mut cluster, 2, Frequency::from_ghz(3.3))
-        .expect("server index is valid");
+    let report =
+        absorb_failure(&mut cluster, 2, Frequency::from_ghz(3.3)).expect("server index is valid");
     println!("\nServer 2 failed!");
     println!(
         "  re-created {} VMs on survivors, {} unplaced",

@@ -25,8 +25,8 @@ fn rack(name: &str, budget_w: f64, sockets: u64, priority: Priority) -> PowerDom
             .map(|i| PowerRequest {
                 id: i,
                 priority,
-                floor_w: 150.0,       // base-frequency draw
-                demand_w: 305.0,      // full overclock ask
+                floor_w: 150.0,  // base-frequency draw
+                demand_w: 305.0, // full overclock ask
             })
             .collect(),
     )

@@ -19,11 +19,7 @@ fn main() {
 
     // 1. A two-phase immersion tank and an air-cooled baseline.
     let tank = TankPrototype::small_tank_1();
-    println!(
-        "Tank: {} filled with {}",
-        tank.name(),
-        tank.fluid()
-    );
+    println!("Tank: {} filled with {}", tank.name(), tank.fluid());
     let air = ThermalInterface::air(35.0, 12.1, 0.21);
     let immersed = tank.interface(0.084, 0.0);
 
@@ -31,11 +27,7 @@ fn main() {
     let sku = CpuSku::skylake_8180();
     let ss_air = sku.steady_state(&air, sku.air_turbo(), sku.nominal_voltage());
     let ss_tank = sku.steady_state(&immersed, sku.air_turbo(), sku.nominal_voltage());
-    println!(
-        "\n{} at all-core turbo ({}):",
-        sku.name(),
-        sku.air_turbo()
-    );
+    println!("\n{} at all-core turbo ({}):", sku.name(), sku.air_turbo());
     println!(
         "  air : {:6.1} W, junction {:5.1} °C",
         ss_air.power_w, ss_air.tj_c
@@ -51,10 +43,22 @@ fn main() {
     let model = CompositeLifetimeModel::fitted_5nm();
     println!("\nProjected lifetimes (Table V conditions):");
     for (label, cond) in [
-        ("air, nominal     ", OperatingConditions::new(0.90, 85.0, 20.0)),
-        ("air, overclocked ", OperatingConditions::new(0.98, 101.0, 20.0)),
-        ("HFE-7000, nominal", OperatingConditions::new(0.90, 51.0, 35.0)),
-        ("HFE-7000, OC     ", OperatingConditions::new(0.98, 60.0, 35.0)),
+        (
+            "air, nominal     ",
+            OperatingConditions::new(0.90, 85.0, 20.0),
+        ),
+        (
+            "air, overclocked ",
+            OperatingConditions::new(0.98, 101.0, 20.0),
+        ),
+        (
+            "HFE-7000, nominal",
+            OperatingConditions::new(0.90, 51.0, 35.0),
+        ),
+        (
+            "HFE-7000, OC     ",
+            OperatingConditions::new(0.98, 60.0, 35.0),
+        ),
     ] {
         println!("  {label}: {:5.1} years", model.lifetime_years(&cond));
     }

@@ -16,6 +16,7 @@
 //! | [`core`] | `ic-core` | Operating domains, bottleneck analysis, overclock governor, use-cases |
 //! | [`autoscale`] | `ic-autoscale` | The overclocking-enhanced auto-scaler (Table XI) |
 //! | [`tco`] | `ic-tco` | Table VI TCO model |
+//! | [`obs`] | `ic-obs` | Structured tracing, metrics registry, engine observer |
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 pub use ic_autoscale as autoscale;
 pub use ic_cluster as cluster;
 pub use ic_core as core;
+pub use ic_obs as obs;
 pub use ic_power as power;
 pub use ic_reliability as reliability;
 pub use ic_sim as sim;

@@ -66,10 +66,7 @@ fn frequency_increase_lowers_utilization() {
         let (t0, f0) = pair[0];
         let (t1, f1) = pair[1];
         // A frequency step-up strictly inside the 2000-QPS phase.
-        if f1 > f0 + 20.0
-            && t0 > SimTime::from_secs(310)
-            && t1 < SimTime::from_secs(560)
-        {
+        if f1 > f0 + 20.0 && t0 > SimTime::from_secs(310) && t1 < SimTime::from_secs(560) {
             let before = result.utilization.value_at(t0).unwrap();
             let after = result
                 .utilization
@@ -82,7 +79,10 @@ fn frequency_increase_lowers_utilization() {
             checked += 1;
         }
     }
-    assert!(checked > 0, "expected at least one frequency step to verify");
+    assert!(
+        checked > 0,
+        "expected at least one frequency step to verify"
+    );
 }
 
 #[test]

@@ -34,9 +34,24 @@ fn capped_datacenter_throttles_batch_sockets_first() {
     // its overclock while batch sockets are squeezed toward base power.
     let allocator = PowerAllocator::new(700.0);
     let requests = vec![
-        PowerRequest { id: 0, priority: Priority::Critical, floor_w: 140.0, demand_w: 305.0 },
-        PowerRequest { id: 1, priority: Priority::Normal, floor_w: 140.0, demand_w: 305.0 },
-        PowerRequest { id: 2, priority: Priority::Batch, floor_w: 140.0, demand_w: 305.0 },
+        PowerRequest {
+            id: 0,
+            priority: Priority::Critical,
+            floor_w: 140.0,
+            demand_w: 305.0,
+        },
+        PowerRequest {
+            id: 1,
+            priority: Priority::Normal,
+            floor_w: 140.0,
+            demand_w: 305.0,
+        },
+        PowerRequest {
+            id: 2,
+            priority: Priority::Batch,
+            floor_w: 140.0,
+            demand_w: 305.0,
+        },
     ];
     let grants = allocator.allocate(&requests);
     let gov = governor();
@@ -122,7 +137,10 @@ fn failure_storm_with_virtual_buffer() {
     // Fill the remaining capacity completely, then lose another server.
     cluster.fill_with(VmSpec::new(12, 32.0));
     let r3 = absorb_failure(&mut cluster, 2, boost).unwrap();
-    assert!(!r3.failover.unplaced.is_empty(), "full cluster cannot absorb");
+    assert!(
+        !r3.failover.unplaced.is_empty(),
+        "full cluster cannot absorb"
+    );
 }
 
 #[test]
@@ -146,7 +164,11 @@ fn oversubscribed_fleet_keeps_power_within_provisioned_budget() {
     let requests: Vec<PowerRequest> = (0..20) // 10 servers × 2 sockets
         .map(|i| PowerRequest {
             id: i,
-            priority: if i < 4 { Priority::Critical } else { Priority::Normal },
+            priority: if i < 4 {
+                Priority::Critical
+            } else {
+                Priority::Normal
+            },
             floor_w: 150.0,
             demand_w: 305.0,
         })
@@ -167,8 +189,12 @@ fn oversubscribed_fleet_keeps_power_within_provisioned_budget() {
         "fleet draw {total:.0} W exceeds budget {budget} W"
     );
     // Critical sockets got at least as much frequency as normal ones.
-    let crit = gov.decide(Frequency::from_ghz(3.4), grants[0].granted_w).frequency;
-    let norm = gov.decide(Frequency::from_ghz(3.4), grants[10].granted_w).frequency;
+    let crit = gov
+        .decide(Frequency::from_ghz(3.4), grants[0].granted_w)
+        .frequency;
+    let norm = gov
+        .decide(Frequency::from_ghz(3.4), grants[10].granted_w)
+        .frequency;
     assert!(crit >= norm);
 }
 
@@ -177,7 +203,10 @@ fn stability_constraint_binds_before_crash_territory() {
     let gov = governor();
     let d = gov.decide(Frequency::from_ghz(4.5), 10_000.0);
     assert!(d.frequency <= gov.stability_ceiling());
-    assert!(matches!(d.binding, Constraint::Stability | Constraint::Lifetime));
+    assert!(matches!(
+        d.binding,
+        Constraint::Stability | Constraint::Lifetime
+    ));
     let stability = StabilityModel::paper_characterization();
     let turbo = gov.sku().air_turbo().step_bins(1);
     let ratio = d.frequency.ratio_to(turbo);

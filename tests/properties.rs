@@ -1,4 +1,9 @@
 //! Property-based tests on cross-crate invariants.
+//!
+//! The hermetic build has no `proptest`, so these use a small in-tree
+//! harness: each property runs `CASES` times against inputs drawn from a
+//! seeded [`SimRng`], so failures are reproducible from the case index
+//! embedded in the panic message.
 
 use immersion_cloud::cluster::cluster::Cluster;
 use immersion_cloud::cluster::placement::{Oversubscription, PlacementPolicy};
@@ -16,174 +21,237 @@ use immersion_cloud::sim::time::SimTime;
 use immersion_cloud::telemetry::eq1::predict_utilization;
 use immersion_cloud::thermal::fluid::DielectricFluid;
 use immersion_cloud::thermal::junction::ThermalInterface;
-use proptest::prelude::*;
 
-proptest! {
-    /// The engine executes events in non-decreasing time order no
-    /// matter the scheduling order.
-    #[test]
-    fn engine_executes_in_time_order(times in prop::collection::vec(0u64..10_000, 1..100)) {
+const CASES: u64 = 48;
+
+/// Runs `property` against `CASES` independently seeded generators. The
+/// closure panics (via assert!) to signal a failing case; the case index
+/// is appended so failures replay deterministically.
+fn check(name: &str, mut property: impl FnMut(&mut SimRng)) {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from_u64(0xC0FFEE ^ (case << 8));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut rng);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!("property {name} failed on case {case}: {msg}");
+        }
+    }
+}
+
+fn vec_of(
+    rng: &mut SimRng,
+    min: usize,
+    max: usize,
+    mut gen: impl FnMut(&mut SimRng) -> f64,
+) -> Vec<f64> {
+    let n = min + rng.index(max - min);
+    (0..n).map(|_| gen(rng)).collect()
+}
+
+/// The engine executes events in non-decreasing time order no matter the
+/// scheduling order.
+#[test]
+fn engine_executes_in_time_order() {
+    check("engine_executes_in_time_order", |rng| {
+        let n = 1 + rng.index(99);
+        let times: Vec<u64> = (0..n).map(|_| rng.index(10_000) as u64).collect();
         let mut engine: Engine<Vec<u64>> = Engine::new();
         for &t in &times {
-            engine.schedule(SimTime::from_millis(t), move |log: &mut Vec<u64>, _| log.push(t));
+            engine.schedule(SimTime::from_millis(t), move |log: &mut Vec<u64>, _| {
+                log.push(t)
+            });
         }
         let mut log = Vec::new();
         engine.run(&mut log);
-        prop_assert_eq!(log.len(), times.len());
-        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]));
-    }
+        assert_eq!(log.len(), times.len());
+        assert!(log.windows(2).all(|w| w[0] <= w[1]));
+    });
+}
 
-    /// Equation 1 is bounded and monotone: higher target frequency never
-    /// raises predicted utilization.
-    #[test]
-    fn eq1_monotone_and_bounded(
-        util in 0.0f64..=1.0,
-        p in 0.0f64..=1.0,
-        f0 in 1.0f64..5.0,
-        df in 0.0f64..2.0,
-    ) {
-        let f1 = f0 + df;
+/// Equation 1 is bounded and monotone: higher target frequency never
+/// raises predicted utilization.
+#[test]
+fn eq1_monotone_and_bounded() {
+    check("eq1_monotone_and_bounded", |rng| {
+        let util = rng.uniform();
+        let p = rng.uniform();
+        let f0 = rng.uniform_range(1.0, 5.0);
+        let f1 = f0 + rng.uniform_range(0.0, 2.0);
         let u1 = predict_utilization(util, p, f0, f1);
-        prop_assert!(u1 <= util + 1e-12);
-        prop_assert!(u1 >= util * f0 / f1 - 1e-12);
+        assert!(u1 <= util + 1e-12);
+        assert!(u1 >= util * f0 / f1 - 1e-12);
         // Further increase never helps a fully stalled workload.
         let stalled = predict_utilization(util, 0.0, f0, f1);
-        prop_assert!((stalled - util).abs() < 1e-12);
-    }
+        assert!((stalled - util).abs() < 1e-12);
+    });
+}
 
-    /// The lifetime model is monotone: hotter or higher-voltage operating
-    /// points never live longer.
-    #[test]
-    fn lifetime_monotone(
-        v in 0.85f64..1.05,
-        tj in 45.0f64..110.0,
-        dv in 0.0f64..0.1,
-        dt in 0.0f64..20.0,
-    ) {
+/// The lifetime model is monotone: hotter or higher-voltage operating
+/// points never live longer.
+#[test]
+fn lifetime_monotone() {
+    check("lifetime_monotone", |rng| {
+        let v = rng.uniform_range(0.85, 1.05);
+        let tj = rng.uniform_range(45.0, 110.0);
+        let dv = rng.uniform_range(0.0, 0.1);
+        let dt = rng.uniform_range(0.0, 20.0);
         let model = CompositeLifetimeModel::fitted_5nm();
         let base = model.lifetime_years(&OperatingConditions::new(v, tj, 30.0));
         let hotter = model.lifetime_years(&OperatingConditions::new(v, tj + dt, 30.0));
         let pushier = model.lifetime_years(&OperatingConditions::new(v + dv, tj, 30.0));
-        prop_assert!(hotter <= base + 1e-12);
-        prop_assert!(pushier <= base + 1e-12);
-    }
+        assert!(hotter <= base + 1e-12);
+        assert!(pushier <= base + 1e-12);
+    });
+}
 
-    /// Junction temperature is affine and monotone in power.
-    #[test]
-    fn junction_monotone_in_power(
-        r in 0.01f64..0.5,
-        p1 in 0.0f64..400.0,
-        dp in 0.0f64..200.0,
-    ) {
+/// Junction temperature is affine and monotone in power, and
+/// `max_power_for_tj` inverts `junction_temp_c`.
+#[test]
+fn junction_monotone_in_power() {
+    check("junction_monotone_in_power", |rng| {
+        let r = rng.uniform_range(0.01, 0.5);
+        let p1 = rng.uniform_range(0.0, 400.0);
+        let dp = rng.uniform_range(0.0, 200.0);
         let iface = ThermalInterface::two_phase(DielectricFluid::fc3284(), r, 1.0);
-        prop_assert!(iface.junction_temp_c(p1 + dp) >= iface.junction_temp_c(p1));
-        // max_power_for_tj inverts junction_temp_c.
+        assert!(iface.junction_temp_c(p1 + dp) >= iface.junction_temp_c(p1));
         let tj = iface.junction_temp_c(p1);
         let back = iface.max_power_for_tj(tj);
-        prop_assert!((back - p1).abs() < 1e-6);
-    }
+        assert!((back - p1).abs() < 1e-6);
+    });
+}
 
-    /// The power allocator conserves the budget (when floors fit) and
-    /// never grants outside [floor, demand].
-    #[test]
-    fn allocator_respects_budget_and_bounds(
-        budget in 100.0f64..2000.0,
-        demands in prop::collection::vec((10.0f64..100.0, 0.0f64..200.0, 0u8..3), 1..12),
-    ) {
-        let requests: Vec<PowerRequest> = demands
-            .iter()
-            .enumerate()
-            .map(|(i, &(floor, extra, pri))| PowerRequest {
-                id: i as u64,
-                priority: match pri {
-                    0 => Priority::Batch,
-                    1 => Priority::Normal,
-                    _ => Priority::Critical,
-                },
-                floor_w: floor,
-                demand_w: floor + extra,
+/// The power allocator conserves the budget (when floors fit) and never
+/// grants outside [floor, demand].
+#[test]
+fn allocator_respects_budget_and_bounds() {
+    check("allocator_respects_budget_and_bounds", |rng| {
+        let budget = rng.uniform_range(100.0, 2000.0);
+        let n = 1 + rng.index(11);
+        let requests: Vec<PowerRequest> = (0..n)
+            .map(|i| {
+                let floor = rng.uniform_range(10.0, 100.0);
+                let extra = rng.uniform_range(0.0, 200.0);
+                PowerRequest {
+                    id: i as u64,
+                    priority: match rng.index(3) {
+                        0 => Priority::Batch,
+                        1 => Priority::Normal,
+                        _ => Priority::Critical,
+                    },
+                    floor_w: floor,
+                    demand_w: floor + extra,
+                }
             })
             .collect();
         let grants = PowerAllocator::new(budget).allocate(&requests);
         let floors: f64 = requests.iter().map(|r| r.floor_w).sum();
         let total: f64 = grants.iter().map(|g| g.granted_w).sum();
         if floors <= budget {
-            prop_assert!(total <= budget + 1e-6, "total {total} > budget {budget}");
+            assert!(total <= budget + 1e-6, "total {total} > budget {budget}");
         }
         for (r, g) in requests.iter().zip(&grants) {
-            prop_assert!(g.granted_w >= r.floor_w - 1e-9);
-            prop_assert!(g.granted_w <= r.demand_w + 1e-9);
+            assert!(g.granted_w >= r.floor_w - 1e-9);
+            assert!(g.granted_w <= r.demand_w + 1e-9);
         }
-    }
+    });
+}
 
-    /// Bin packing never exceeds any server's (oversubscribed) capacity
-    /// in either dimension, under any policy.
-    #[test]
-    fn packing_never_exceeds_capacity(
-        policy_idx in 0usize..3,
-        ratio in 1.0f64..1.5,
-        vms in prop::collection::vec((1u32..8, 1.0f64..64.0), 1..60),
-    ) {
-        let policy = [PlacementPolicy::FirstFit, PlacementPolicy::BestFit, PlacementPolicy::WorstFit][policy_idx];
+/// Bin packing never exceeds any server's (oversubscribed) capacity in
+/// either dimension, under any policy.
+#[test]
+fn packing_never_exceeds_capacity() {
+    check("packing_never_exceeds_capacity", |rng| {
+        let policy = [
+            PlacementPolicy::FirstFit,
+            PlacementPolicy::BestFit,
+            PlacementPolicy::WorstFit,
+        ][rng.index(3)];
+        let ratio = rng.uniform_range(1.0, 1.5);
         let mut cluster = Cluster::new(
-            vec![ServerSpec::custom(16, 128.0, Frequency::from_ghz(2.7), Frequency::from_ghz(3.3)); 4],
+            vec![
+                ServerSpec::custom(
+                    16,
+                    128.0,
+                    Frequency::from_ghz(2.7),
+                    Frequency::from_ghz(3.3)
+                );
+                4
+            ],
             policy,
             Oversubscription::ratio(ratio),
         );
-        for (vcores, mem) in vms {
+        let n = 1 + rng.index(59);
+        for _ in 0..n {
+            let vcores = 1 + rng.index(7) as u32;
+            let mem = rng.uniform_range(1.0, 64.0);
             let _ = cluster.create_vm(VmSpec::new(vcores, mem));
         }
         let cap = Oversubscription::ratio(ratio).vcore_capacity(16);
         for server in cluster.servers() {
-            prop_assert!(server.allocated_vcores() <= cap);
-            prop_assert!(server.allocated_memory_gb() <= 128.0 + 1e-9);
+            assert!(server.allocated_vcores() <= cap);
+            assert!(server.allocated_memory_gb() <= 128.0 + 1e-9);
         }
-    }
+    });
+}
 
-    /// Tally percentiles are order statistics: bounded by min/max and
-    /// monotone in q.
-    #[test]
-    fn tally_percentiles_are_order_statistics(
-        values in prop::collection::vec(-1e6f64..1e6, 1..200),
-        q1 in 0.0f64..=1.0,
-        q2 in 0.0f64..=1.0,
-    ) {
+/// Tally percentiles are order statistics: bounded by min/max and
+/// monotone in q.
+#[test]
+fn tally_percentiles_are_order_statistics() {
+    check("tally_percentiles_are_order_statistics", |rng| {
+        let values = vec_of(rng, 1, 200, |r| r.uniform_range(-1e6, 1e6));
+        let q1 = rng.uniform();
+        let q2 = rng.uniform();
         let mut tally: Tally = values.iter().copied().collect();
         let (lo, hi) = (q1.min(q2), q1.max(q2));
         let p_lo = tally.percentile(lo);
         let p_hi = tally.percentile(hi);
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p_lo <= p_hi);
-        prop_assert!(p_lo >= min && p_hi <= max);
-    }
+        assert!(p_lo <= p_hi);
+        assert!(p_lo >= min && p_hi <= max);
+    });
+}
 
-    /// Distribution sample means converge to the analytic mean.
-    #[test]
-    fn distribution_means_converge(seed in 0u64..1000, mean in 0.1f64..10.0) {
-        let mut rng = SimRng::seed_from_u64(seed);
+/// Distribution sample means converge to the analytic mean.
+#[test]
+fn distribution_means_converge() {
+    check("distribution_means_converge", |rng| {
+        let mean = rng.uniform_range(0.1, 10.0);
+        let mut sample_rng = rng.fork();
         let exp = Exponential::with_mean(mean);
         let ln = LogNormal::with_mean_scv(mean, 1.0);
         let n = 20_000;
-        let exp_mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
-        let ln_mean: f64 = (0..n).map(|_| ln.sample(&mut rng)).sum::<f64>() / n as f64;
-        prop_assert!((exp_mean - mean).abs() / mean < 0.1, "exp {exp_mean} vs {mean}");
-        prop_assert!((ln_mean - mean).abs() / mean < 0.1, "ln {ln_mean} vs {mean}");
-    }
+        let exp_mean: f64 = (0..n).map(|_| exp.sample(&mut sample_rng)).sum::<f64>() / n as f64;
+        let ln_mean: f64 = (0..n).map(|_| ln.sample(&mut sample_rng)).sum::<f64>() / n as f64;
+        assert!(
+            (exp_mean - mean).abs() / mean < 0.1,
+            "exp {exp_mean} vs {mean}"
+        );
+        assert!(
+            (ln_mean - mean).abs() / mean < 0.1,
+            "ln {ln_mean} vs {mean}"
+        );
+    });
+}
 
-    /// The turbo staircase never increases with more active cores, and
-    /// immersion never lowers any step.
-    #[test]
-    fn turbo_staircase_monotone(limit_w in 150.0f64..305.0, cap_bins in 5i32..15) {
+/// The turbo staircase never increases with more active cores, and
+/// immersion never lowers any step.
+#[test]
+fn turbo_staircase_monotone() {
+    check("turbo_staircase_monotone", |rng| {
         use immersion_cloud::power::turbo::TurboTable;
+        let limit_w = rng.uniform_range(150.0, 305.0);
+        let cap_bins = 5 + rng.index(10) as i32;
         let sku = CpuSku::skylake_8180();
         let cap = sku.air_turbo().step_bins(cap_bins);
-        let air = TurboTable::derive(
-            &sku,
-            &ThermalInterface::air(35.0, 12.1, 0.21),
-            limit_w,
-            cap,
-        );
+        let air = TurboTable::derive(&sku, &ThermalInterface::air(35.0, 12.1, 0.21), limit_w, cap);
         let tank = TurboTable::derive(
             &sku,
             &ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6),
@@ -193,20 +261,24 @@ proptest! {
         let mut last = Frequency::from_mhz(u32::MAX);
         for n in 1..=sku.cores() {
             let f = air.frequency_for(n);
-            prop_assert!(f <= last);
-            prop_assert!(tank.frequency_for(n) >= f);
+            assert!(f <= last);
+            assert!(tank.frequency_for(n) >= f);
             last = f;
         }
-    }
+    });
+}
 
-    /// The power hierarchy never grants more than any domain's budget
-    /// (when the floors fit it).
-    #[test]
-    fn hierarchy_conserves_budget(
-        dc_budget in 2000.0f64..20_000.0,
-        racks in prop::collection::vec((1500.0f64..6000.0, 1usize..12), 1..5),
-    ) {
+/// The power hierarchy never grants more than any domain's budget (when
+/// the floors fit it).
+#[test]
+fn hierarchy_conserves_budget() {
+    check("hierarchy_conserves_budget", |rng| {
         use immersion_cloud::power::hierarchy::PowerDomain;
+        let dc_budget = rng.uniform_range(2000.0, 20_000.0);
+        let n_racks = 1 + rng.index(4);
+        let racks: Vec<(f64, usize)> = (0..n_racks)
+            .map(|_| (rng.uniform_range(1500.0, 6000.0), 1 + rng.index(11)))
+            .collect();
         let children: Vec<PowerDomain> = racks
             .iter()
             .enumerate()
@@ -217,7 +289,11 @@ proptest! {
                     (0..sockets as u64)
                         .map(|j| PowerRequest {
                             id: j,
-                            priority: if j % 2 == 0 { Priority::Batch } else { Priority::Critical },
+                            priority: if j % 2 == 0 {
+                                Priority::Batch
+                            } else {
+                                Priority::Critical
+                            },
                             floor_w: 100.0,
                             demand_w: 305.0,
                         })
@@ -229,7 +305,7 @@ proptest! {
         let grants = dc.resolve();
         let total: f64 = grants.iter().map(|(_, g)| g.granted_w).sum();
         if dc.total_floor_w() <= dc_budget {
-            prop_assert!(total <= dc_budget + 1e-6, "total {total} > dc {dc_budget}");
+            assert!(total <= dc_budget + 1e-6, "total {total} > dc {dc_budget}");
         }
         // Per-rack budgets hold whenever the rack's own floors fit.
         for (i, &(budget, sockets)) in racks.iter().enumerate() {
@@ -239,75 +315,199 @@ proptest! {
                 .map(|(_, g)| g.granted_w)
                 .sum();
             if 100.0 * sockets as f64 <= budget {
-                prop_assert!(rack_total <= budget + 1e-6);
+                assert!(rack_total <= budget + 1e-6);
             }
         }
-    }
+    });
+}
 
-    /// Histogram quantiles are monotone in q and bounded by the exact
-    /// max; the mean is exact.
-    #[test]
-    fn histogram_quantiles_bounded(values in prop::collection::vec(0.0f64..1e6, 1..300)) {
+/// Histogram quantiles are monotone in q and bounded by the exact max;
+/// the mean is exact.
+#[test]
+fn histogram_quantiles_bounded() {
+    check("histogram_quantiles_bounded", |rng| {
         use immersion_cloud::sim::hist::LogHistogram;
+        let values = vec_of(rng, 1, 300, |r| r.uniform_range(0.0, 1e6));
         let mut h = LogHistogram::new(1e-3, 1.7, 48);
         for &v in &values {
             h.record(v);
         }
         let exact_mean = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
+        assert!((h.mean() - exact_mean).abs() < 1e-6 * exact_mean.max(1.0));
         let mut last = 0.0;
         for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
             let est = h.quantile(q);
-            prop_assert!(est >= last - 1e-12);
-            prop_assert!(est <= h.max() + 1e-12);
+            assert!(est >= last - 1e-12);
+            assert!(est <= h.max() + 1e-12);
             last = est;
         }
-    }
+    });
+}
 
-    /// The thermal node never overshoots its steady state from below
-    /// (first-order systems are monotone), and always settles between
-    /// reference and steady state.
-    #[test]
-    fn thermal_node_no_overshoot(
-        r in 0.02f64..0.5,
-        c in 10.0f64..1000.0,
-        power in 0.0f64..400.0,
-        dt in 0.1f64..500.0,
-    ) {
+/// The thermal node never overshoots its steady state from below
+/// (first-order systems are monotone), and always settles between
+/// reference and steady state.
+#[test]
+fn thermal_node_no_overshoot() {
+    check("thermal_node_no_overshoot", |rng| {
         use immersion_cloud::thermal::transient::ThermalNode;
+        let r = rng.uniform_range(0.02, 0.5);
+        let c = rng.uniform_range(10.0, 1000.0);
+        let power = rng.uniform_range(0.0, 400.0);
+        let dt = rng.uniform_range(0.1, 500.0);
         let mut node = ThermalNode::new(r, c, 40.0);
         let steady = 40.0 + r * power;
         for _ in 0..50 {
             let t = node.step(power, dt);
-            prop_assert!(t >= 40.0 - 1e-9);
-            prop_assert!(t <= steady + 1e-9);
+            assert!(t >= 40.0 - 1e-9);
+            assert!(t <= steady + 1e-9);
         }
-    }
+    });
+}
 
-    /// The diurnal load stays within [trough, crest] for all time.
-    #[test]
-    fn diurnal_load_bounded(
-        base in 0.0f64..5000.0,
-        amp in 0.0f64..5000.0,
-        t in 0.0f64..1e6,
-    ) {
+/// The diurnal load stays within [trough, crest] for all time.
+#[test]
+fn diurnal_load_bounded() {
+    check("diurnal_load_bounded", |rng| {
         use immersion_cloud::workloads::loadgen::DiurnalLoad;
+        let base = rng.uniform_range(0.0, 5000.0);
+        let amp = rng.uniform_range(0.0, 5000.0);
+        let t = rng.uniform_range(0.0, 1e6);
         let d = DiurnalLoad::daily(base, amp);
         let q = d.at(t);
-        prop_assert!(q >= d.trough_qps() - 1e-9);
-        prop_assert!(q <= d.crest_qps() + 1e-9);
-    }
+        assert!(q >= d.trough_qps() - 1e-9);
+        assert!(q <= d.crest_qps() + 1e-9);
+    });
+}
 
-    /// Socket steady-state power is monotone in frequency and voltage.
-    #[test]
-    fn socket_power_monotone(fbins in 0i32..12, extra_mv in 0u32..100) {
+/// Histogram merge is commutative and associative: any merge order
+/// yields identical bins, counts, and moments.
+#[test]
+fn histogram_merge_commutative_associative() {
+    use immersion_cloud::sim::hist::LogHistogram;
+    check("histogram_merge_commutative_associative", |rng| {
+        let fresh = || LogHistogram::new(1e-3, 1.7, 48);
+        let fill = |rng: &mut SimRng| {
+            let mut h = fresh();
+            for v in vec_of(rng, 0, 120, |r| r.uniform_range(0.0, 1e6)) {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (fill(rng), fill(rng), fill(rng));
+        let merged = |parts: &[&LogHistogram]| {
+            let mut out = fresh();
+            for p in parts {
+                out.merge(p);
+            }
+            out
+        };
+        let ab = merged(&[&a, &b]);
+        let ba = merged(&[&b, &a]);
+        assert_eq!(ab.bins(), ba.bins());
+        assert_eq!(ab.count(), ba.count());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-9 * ab.mean().abs().max(1.0));
+        let mut ab_c = merged(&[&a, &b]);
+        ab_c.merge(&c);
+        let mut bc = merged(&[&b, &c]);
+        let mut a_bc = fresh();
+        a_bc.merge(&a);
+        a_bc.merge(&bc);
+        bc = a_bc;
+        assert_eq!(ab_c.bins(), bc.bins());
+        assert_eq!(ab_c.count(), bc.count());
+        assert_eq!(ab_c.max(), bc.max());
+    });
+}
+
+/// Registry merge adds counters, sums histogram populations, and keeps
+/// snapshots byte-identical regardless of insertion order.
+#[test]
+fn registry_merge_adds_and_orders_deterministically() {
+    use immersion_cloud::obs::MetricsRegistry;
+    check("registry_merge_adds_and_orders_deterministically", |rng| {
+        let names = ["a_total", "b_total", "c_total"];
+        let fill = |rng: &mut SimRng| {
+            let mut reg = MetricsRegistry::new();
+            // Insert in a random order; BTreeMap storage must make the
+            // snapshot independent of it.
+            let mut order: Vec<usize> = (0..names.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.index(i + 1));
+            }
+            let mut counts = [0u64; 3];
+            for &i in &order {
+                let n = rng.index(50) as u64;
+                reg.counter_add(names[i], n);
+                counts[i] = n;
+            }
+            for v in vec_of(rng, 1, 60, |r| r.uniform_range(1e-4, 10.0)) {
+                reg.histogram_record("lat_seconds", v);
+            }
+            (reg, counts)
+        };
+        let (a, ca) = fill(rng);
+        let (b, cb) = fill(rng);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(ab.counter(name), ca[i] + cb[i]);
+            assert_eq!(ab.counter(name), ba.counter(name));
+        }
+        let merged_count = ab.histogram("lat_seconds").map_or(0, |h| h.count());
+        let a_count = a.histogram("lat_seconds").map_or(0, |h| h.count());
+        let b_count = b.histogram("lat_seconds").map_or(0, |h| h.count());
+        assert_eq!(merged_count, a_count + b_count);
+        assert_eq!(
+            ab.to_json(),
+            ba.to_json(),
+            "merge order leaked into snapshot"
+        );
+    });
+}
+
+/// Registry quantiles are order statistics of the recorded samples:
+/// monotone in q and never above the histogram's observed max.
+#[test]
+fn registry_quantiles_bounded() {
+    use immersion_cloud::obs::MetricsRegistry;
+    check("registry_quantiles_bounded", |rng| {
+        let mut reg = MetricsRegistry::new();
+        let values = vec_of(rng, 1, 200, |r| r.uniform_range(1e-5, 1e3));
+        for &v in &values {
+            reg.histogram_record("x", v);
+        }
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = 0.0;
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            let est = reg.quantile("x", q);
+            assert!(est >= last - 1e-12, "quantile not monotone at q={q}");
+            assert!(
+                est <= max + 1e-12,
+                "quantile {est} above max {max} at q={q}"
+            );
+            last = est;
+        }
+    });
+}
+
+/// Socket steady-state power is monotone in frequency and voltage.
+#[test]
+fn socket_power_monotone() {
+    check("socket_power_monotone", |rng| {
+        let fbins = rng.index(12) as i32;
+        let extra_mv = rng.index(100) as u32;
         let sku = CpuSku::skylake_8180();
         let iface = ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6);
         let f0 = sku.base();
         let f1 = f0.step_bins(fbins);
         let v = Voltage::from_mv(900 + extra_mv);
-        let p0 = sku.steady_state(&iface, f0, Voltage::from_volts(0.9)).power_w;
+        let p0 = sku
+            .steady_state(&iface, f0, Voltage::from_volts(0.9))
+            .power_w;
         let p1 = sku.steady_state(&iface, f1, v).power_w;
-        prop_assert!(p1 >= p0 - 1e-9);
-    }
+        assert!(p1 >= p0 - 1e-9);
+    });
 }

@@ -25,7 +25,9 @@ fn table1_2pic_is_the_most_efficient_technology() {
     let best = rows.last().unwrap();
     assert_eq!(best.name(), "2PIC");
     assert!(rows.iter().all(|t| t.avg_pue() >= best.avg_pue()));
-    assert!(rows.iter().all(|t| t.max_server_cooling_w() <= best.max_server_cooling_w()));
+    assert!(rows
+        .iter()
+        .all(|t| t.max_server_cooling_w() <= best.max_server_cooling_w()));
 }
 
 #[test]
@@ -40,7 +42,8 @@ fn table3_immersion_buys_one_turbo_bin_at_iso_power() {
     let air = ThermalInterface::air(35.0, 12.0, 0.22);
     let tank = ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.12, 0.4);
     assert_eq!(
-        sku.max_turbo(&tank, sku.tdp_w()).bins_above(sku.max_turbo(&air, sku.tdp_w())),
+        sku.max_turbo(&tank, sku.tdp_w())
+            .bins_above(sku.max_turbo(&air, sku.tdp_w())),
         1
     );
 }
@@ -147,8 +150,16 @@ fn figure11_gpu_story() {
     let b16 = VggModel::by_name("VGG16B").unwrap();
     let gain = b16.normalized_time(&GpuConfig::ocg2()) - b16.normalized_time(&GpuConfig::ocg3());
     assert!(gain.abs() < 0.002, "VGG16B memory-OC gain {gain}");
-    let base = sweep.iter().find(|p| p.config == "Base").unwrap().p99_power_w;
-    let ocg3 = sweep.iter().find(|p| p.config == "OCG3").unwrap().p99_power_w;
+    let base = sweep
+        .iter()
+        .find(|p| p.config == "Base")
+        .unwrap()
+        .p99_power_w;
+    let ocg3 = sweep
+        .iter()
+        .find(|p| p.config == "OCG3")
+        .unwrap()
+        .p99_power_w;
     assert!((ocg3 / base - 1.19).abs() < 0.03);
 }
 
@@ -157,7 +168,10 @@ fn figure13_oversubscription_story() {
     for s in Scenario::table10() {
         assert_eq!(s.total_vcores(), 20);
         // B2 oversubscribed: everything degrades, LS worst.
-        assert!(s.evaluate(&CpuConfig::b2()).iter().all(|r| r.improvement_pct < 0.0));
+        assert!(s
+            .evaluate(&CpuConfig::b2())
+            .iter()
+            .all(|r| r.improvement_pct < 0.0));
         // OC3: everything improves >= 6 % except TeraSort in scenario 1.
         for r in s.evaluate(&CpuConfig::oc3()) {
             if r.scenario == "Scenario 1" && r.app == "TeraSort" {
@@ -183,7 +197,9 @@ fn sql_is_memory_bound_and_bi_is_not() {
 #[test]
 fn tco_headlines() {
     let tco = TcoModel::paper();
-    assert!((tco.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 0.93).abs() < 1e-9);
+    assert!(
+        (tco.cost_per_pcore_relative(CoolingScenario::NonOverclockable2pic) - 0.93).abs() < 1e-9
+    );
     assert!((tco.cost_per_pcore_relative(CoolingScenario::Overclockable2pic) - 0.96).abs() < 1e-9);
     let vcore = tco.cost_per_vcore_relative(CoolingScenario::Overclockable2pic, 1.10);
     assert!((vcore - 0.87).abs() < 0.01, "vcore {vcore}");
@@ -205,7 +221,12 @@ fn figure4_turbo_staircase_lifts_under_immersion() {
     use immersion_cloud::power::turbo::TurboTable;
     let sku = CpuSku::skylake_8180();
     let cap = immersion_cloud::power::units::Frequency::from_ghz(3.8);
-    let air = TurboTable::derive(&sku, &ThermalInterface::air(35.0, 12.1, 0.21), sku.tdp_w(), cap);
+    let air = TurboTable::derive(
+        &sku,
+        &ThermalInterface::air(35.0, 12.1, 0.21),
+        sku.tdp_w(),
+        cap,
+    );
     let tank = TurboTable::derive(
         &sku,
         &ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6),

@@ -1,0 +1,51 @@
+//! Hermetic stand-in for the `serde` facade crate.
+//!
+//! The build environment for this workspace has no crates.io access, so
+//! this stub keeps the source-level serde surface the workspace actually
+//! uses — `use serde::{Serialize, Deserialize}` plus the two derives —
+//! compiling without pulling in the real dependency graph. The traits
+//! are markers with blanket implementations and the derives expand to
+//! nothing; any code that needs real serialization should use
+//! `ic_obs::json` (hand-rolled, deterministic) instead.
+//!
+//! To restore the real serde, point `[workspace.dependencies] serde`
+//! back at crates.io; no source changes are required.
+
+/// Marker for types that declare themselves serializable.
+///
+/// Blanket-implemented for every type so `#[derive(Serialize)]` and
+/// `T: Serialize` bounds stay satisfied under the stub.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that declare themselves deserializable.
+///
+/// Mirrors the real trait's lifetime arity so `Deserialize<'de>` bounds
+/// would also compile.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-data variant, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Probe {
+        _x: u32,
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+
+    #[test]
+    fn derive_and_bounds_compile() {
+        assert_serialize::<Probe>();
+        assert_serialize::<Vec<f64>>();
+    }
+}

@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! The stub `serde` crate blanket-implements its marker traits, so the
+//! derives have nothing to generate — they only need to exist so that
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace
+//! keep parsing. `#[serde(...)]` helper attributes are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
