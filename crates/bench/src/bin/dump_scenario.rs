@@ -1,0 +1,9 @@
+//! Writes the paper's calibration scenario to stdout as JSON.
+//!
+//! The output is a valid `--scenario` file for `run_all`: feed it back
+//! unmodified and every experiment reproduces the default report; edit
+//! any constant to run the whole suite against your own calibration.
+
+fn main() {
+    print!("{}", ic_scenario::Scenario::paper().to_json());
+}

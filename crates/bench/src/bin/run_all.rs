@@ -1,13 +1,114 @@
-//! Runs every table and figure experiment in paper order. Pass --quick
-//! to shorten the simulation-backed ones, and --json to emit one
-//! machine-readable JSONL record per experiment instead of the rendered
-//! report.
-fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
-    if json {
-        print!("{}", ic_bench::experiments::run_all_json(quick));
+//! Runs every table and figure experiment in paper order.
+//!
+//! Flags:
+//!   --quick            shorten the simulation-backed experiments
+//!   --json             emit one JSONL record per experiment
+//!   --list             print `id  title` for every registered experiment
+//!   --only <ids>       run only the comma-separated experiment ids
+//!   --scenario <file>  load the calibration scenario from a JSON file
+//!                      instead of the built-in paper scenario
+//!   --jobs <N>         fan experiments out across N worker threads
+//!                      (output order stays deterministic)
+
+use ic_bench::registry::{self, Mode};
+use ic_scenario::Scenario;
+use std::process::ExitCode;
+
+struct Args {
+    quick: bool,
+    json: bool,
+    list: bool,
+    only: Option<Vec<String>>,
+    scenario: Option<String>,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        quick: false,
+        json: false,
+        list: false,
+        only: None,
+        scenario: None,
+        jobs: 1,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--json" => args.json = true,
+            "--list" => args.list = true,
+            "--only" => {
+                let ids = iter
+                    .next()
+                    .ok_or("--only needs a comma-separated id list")?;
+                args.only = Some(
+                    ids.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from)
+                        .collect(),
+                );
+            }
+            "--scenario" => {
+                args.scenario = Some(iter.next().ok_or("--scenario needs a file path")?);
+            }
+            "--jobs" => {
+                let n = iter.next().ok_or("--jobs needs a thread count")?;
+                args.jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid --jobs value {n:?}"))?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.list {
+        for exp in registry::registry() {
+            use ic_bench::registry::Experiment;
+            println!("{:<8} {}", exp.id(), exp.title());
+        }
+        return Ok(());
+    }
+    let scenario = match &args.scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario {path:?}: {e}"))?;
+            Scenario::from_json(&text).map_err(|e| format!("invalid scenario {path:?}: {e}"))?
+        }
+        None => Scenario::paper(),
+    };
+    let mode = if args.quick { Mode::Quick } else { Mode::Full };
+    let only = args.only.as_deref();
+    if args.json {
+        let records =
+            registry::run_selected(&scenario, mode, args.jobs, only).map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for record in records {
+            out.push_str(&record.to_json());
+            out.push('\n');
+        }
+        print!("{out}");
     } else {
-        print!("{}", ic_bench::experiments::run_all(quick));
+        let out = registry::render_selected(&scenario, mode, args.jobs, only)
+            .map_err(|e| e.to_string())?;
+        print!("{out}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("run_all: {message}");
+            ExitCode::from(2)
+        }
     }
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table II (dielectric fluids).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table2());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table2(&scenario));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table III (max turbo air vs 2PIC).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table3());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table3(&scenario));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table IV (failure modes).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table4());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table4(&scenario));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table V (lifetime projections).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table5());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table5(&scenario));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table VII (CPU configs).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table7());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table7(&scenario));
 }

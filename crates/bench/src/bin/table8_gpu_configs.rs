@@ -1,4 +1,5 @@
 //! Regenerates Table VIII (GPU configs).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table8());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table8(&scenario));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table IX (applications).
 fn main() {
-    print!("{}", ic_bench::experiments::tables::table9());
+    let scenario = ic_scenario::Scenario::paper();
+    print!("{}", ic_bench::experiments::tables::table9(&scenario));
 }

@@ -4,58 +4,25 @@ pub mod ablations;
 pub mod figures;
 pub mod tables;
 
+use crate::registry::{render_selected, run_selected, Mode};
+use ic_scenario::Scenario;
+
+fn mode_for(quick: bool) -> Mode {
+    if quick {
+        Mode::Quick
+    } else {
+        Mode::Full
+    }
+}
+
 /// Runs every experiment in paper order and returns the combined report.
 /// `quick` shortens the simulation-backed experiments (Table XI,
 /// Figures 15/16) for fast runs; the full versions match the paper's
-/// schedules exactly.
+/// schedules exactly. A thin wrapper over [`crate::registry`] with the
+/// paper scenario and a single worker.
 pub fn run_all(quick: bool) -> String {
-    let mut out = String::new();
-    out.push_str(&tables::table1());
-    out.push('\n');
-    out.push_str(&tables::table2());
-    out.push('\n');
-    out.push_str(&tables::table3());
-    out.push('\n');
-    out.push_str(&tables::table4());
-    out.push('\n');
-    out.push_str(&tables::table5());
-    out.push('\n');
-    out.push_str(&tables::table6());
-    out.push('\n');
-    out.push_str(&tables::table7());
-    out.push('\n');
-    out.push_str(&tables::table8());
-    out.push('\n');
-    out.push_str(&tables::table9());
-    out.push('\n');
-    out.push_str(&figures::fig4());
-    out.push('\n');
-    out.push_str(&figures::fig5());
-    out.push('\n');
-    out.push_str(&figures::fig6());
-    out.push('\n');
-    out.push_str(&figures::fig7());
-    out.push('\n');
-    out.push_str(&figures::fig9());
-    out.push('\n');
-    out.push_str(&figures::fig10());
-    out.push('\n');
-    out.push_str(&figures::fig11());
-    out.push('\n');
-    out.push_str(&figures::fig12());
-    out.push('\n');
-    out.push_str(&figures::fig13());
-    out.push('\n');
-    out.push_str(&figures::fig8(quick));
-    out.push('\n');
-    out.push_str(&figures::fig14());
-    out.push('\n');
-    out.push_str(&figures::fig15(quick));
-    out.push('\n');
-    out.push_str(&figures::fig16(quick));
-    out.push('\n');
-    out.push_str(&tables::table11(quick));
-    out
+    render_selected(&Scenario::paper(), mode_for(quick), 1, None)
+        .expect("the unfiltered selection always resolves")
 }
 
 /// Runs every experiment in paper order, emitting one machine-readable
@@ -65,115 +32,8 @@ pub fn run_all(quick: bool) -> String {
 /// Experiments the paper reports numbers for carry paper-vs-measured
 /// metric pairs.
 pub fn run_all_json(quick: bool) -> String {
-    use crate::report::{ExperimentRecord, Metric};
-    use std::time::Instant;
-
-    fn timed(
-        id: &'static str,
-        title: &'static str,
-        run: impl FnOnce() -> (u64, Vec<Metric>),
-    ) -> ExperimentRecord {
-        let started = Instant::now();
-        let (sim_events, metrics) = run();
-        ExperimentRecord {
-            id,
-            title: title.to_string(),
-            wall_ms: started.elapsed().as_secs_f64() * 1e3,
-            sim_events,
-            metrics,
-        }
-    }
-
-    // Analytic experiments: time the render, report line count so the
-    // record carries a measurement even without paper targets.
-    fn rendered(
-        id: &'static str,
-        title: &'static str,
-        render: impl FnOnce() -> String,
-    ) -> ExperimentRecord {
-        timed(id, title, || {
-            let out = render();
-            (
-                0,
-                vec![Metric::new(
-                    "output_lines",
-                    "count",
-                    out.lines().count() as f64,
-                )],
-            )
-        })
-    }
-
-    let records = vec![
-        rendered("table1", "Table I: cooling technologies", tables::table1),
-        rendered("table2", "Table II: dielectric fluids", tables::table2),
-        timed("table3", "Table III: max turbo, air vs 2PIC", || {
-            (0, tables::table3_metrics())
-        }),
-        rendered(
-            "table4",
-            "Table IV: failure-mode dependencies",
-            tables::table4,
-        ),
-        timed("table5", "Table V: projected lifetime", || {
-            (0, tables::table5_metrics())
-        }),
-        rendered("table6", "Table VI: TCO analysis", tables::table6),
-        rendered(
-            "table7",
-            "Table VII: CPU frequency configurations",
-            tables::table7,
-        ),
-        rendered("table8", "Table VIII: GPU configurations", tables::table8),
-        rendered("table9", "Table IX: applications", tables::table9),
-        rendered("fig4", "Figure 4: operating domains", figures::fig4),
-        rendered(
-            "fig5",
-            "Figure 5: high-performance VM classes",
-            figures::fig5,
-        ),
-        rendered("fig6", "Figure 6: static vs virtual buffers", figures::fig6),
-        rendered("fig7", "Figure 7: capacity crisis", figures::fig7),
-        rendered(
-            "fig9",
-            "Figure 9: cloud workloads under overclocking",
-            figures::fig9,
-        ),
-        rendered("fig10", "Figure 10: STREAM bandwidth", figures::fig10),
-        rendered(
-            "fig11",
-            "Figure 11: VGG training under GPU overclocking",
-            figures::fig11,
-        ),
-        timed("fig12", "Figure 12: SQL P95 vs pcores", || {
-            (0, figures::fig12_metrics())
-        }),
-        rendered(
-            "fig13",
-            "Figure 13 / Table X: oversubscription",
-            figures::fig13,
-        ),
-        rendered("fig8", "Figure 8: hiding vs avoiding the scale-out", || {
-            figures::fig8(quick)
-        }),
-        rendered(
-            "fig14",
-            "Figure 14: auto-scaling architecture",
-            figures::fig14,
-        ),
-        timed("fig15", "Figure 15: Equation 1 validation", || {
-            figures::fig15_record(quick)
-        }),
-        timed(
-            "fig16",
-            "Figure 16: utilization under the three policies",
-            || figures::fig16_record(quick),
-        ),
-        timed("table11", "Table XI: auto-scaler comparison", || {
-            tables::table11_record(quick)
-        }),
-    ];
-
+    let records = run_selected(&Scenario::paper(), mode_for(quick), 1, None)
+        .expect("the unfiltered selection always resolves");
     let mut out = String::new();
     for record in records {
         out.push_str(&record.to_json());
@@ -218,7 +78,8 @@ mod tests {
 
     #[test]
     fn paper_anchored_metrics_track_the_paper() {
-        for m in tables::table3_metrics() {
+        let s = Scenario::paper();
+        for m in tables::table3_metrics(&s) {
             let paper = m.paper.expect("table3 rows all have paper values");
             assert!(
                 (m.measured - paper).abs() < 5.0,
@@ -227,7 +88,7 @@ mod tests {
                 m.measured
             );
         }
-        let t5 = tables::table5_metrics();
+        let t5 = tables::table5_metrics(&s);
         assert_eq!(t5.len(), 6);
         for m in figures::fig12_metrics() {
             if m.name == "crossover_p95_delta_pct" {

@@ -3,13 +3,14 @@
 use crate::{cell, table};
 use ic_autoscale::runner::{ramp_schedule, table11_runs, RunnerConfig};
 use ic_power::cpu::CpuSku;
-use ic_reliability::lifetime::{table5_rows, CompositeLifetimeModel};
+use ic_reliability::lifetime::{table5_rows_from, CompositeLifetimeModel};
 use ic_reliability::mechanisms::{
     Electromigration, FailureMechanism, GateOxideBreakdown, ThermalCycling,
 };
+use ic_scenario::Scenario;
 use ic_tco::TcoModel;
 use ic_thermal::fluid::DielectricFluid;
-use ic_thermal::junction::table3_platforms;
+use ic_thermal::junction::table3_platforms_from;
 use ic_thermal::technology::CoolingTechnology;
 use ic_workloads::apps::{AppProfile, Origin};
 use ic_workloads::configs::CpuConfig;
@@ -49,10 +50,12 @@ pub fn table1() -> String {
 }
 
 /// Table II: dielectric fluid properties.
-pub fn table2() -> String {
-    let fluids = [DielectricFluid::fc3284(), DielectricFluid::hfe7000()];
-    let rows: Vec<Vec<String>> = fluids
+pub fn table2(scenario: &Scenario) -> String {
+    let rows: Vec<Vec<String>> = scenario
+        .thermal
+        .fluids
         .iter()
+        .map(DielectricFluid::from_spec)
         .map(|f| {
             vec![
                 f.name().to_string(),
@@ -77,23 +80,22 @@ pub fn table2() -> String {
 }
 
 /// Table III: maximum attained frequency and power, air vs FC-3284.
-pub fn table3() -> String {
-    let skus = [CpuSku::skylake_8168(), CpuSku::skylake_8180()];
-    let platforms = table3_platforms();
+pub fn table3(scenario: &Scenario) -> String {
+    let platforms = table3_platforms_from(&scenario.thermal);
     let mut rows = Vec::new();
-    for (i, sku) in skus.iter().enumerate() {
-        for j in 0..2 {
-            let (label, iface, _power, observed_tj) = &platforms[i * 2 + j];
-            let turbo = sku.max_turbo(iface, sku.tdp_w());
-            let ss = sku.steady_state(iface, turbo, sku.nominal_voltage());
-            rows.push(vec![
-                label.to_string(),
-                format!("{:.0} °C (paper {observed_tj:.0})", ss.tj_c),
-                format!("{:.1} W", ss.power_w),
-                format!("{turbo}"),
-                format!("{:.2} °C/W", iface.resistance_c_per_w()),
-            ]);
-        }
+    for (spec, (label, iface, _power, observed_tj)) in
+        scenario.thermal.platforms.iter().zip(&platforms)
+    {
+        let sku = CpuSku::by_name(&spec.sku).expect("known CPU SKU");
+        let turbo = sku.max_turbo(iface, sku.tdp_w());
+        let ss = sku.steady_state(iface, turbo, sku.nominal_voltage());
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0} °C (paper {observed_tj:.0})", ss.tj_c),
+            format!("{:.1} W", ss.power_w),
+            format!("{turbo}"),
+            format!("{:.2} °C/W", iface.resistance_c_per_w()),
+        ]);
     }
     table(
         "Table III: max turbo, air vs 2PIC",
@@ -103,11 +105,12 @@ pub fn table3() -> String {
 }
 
 /// Table IV: failure-mode parameter dependencies.
-pub fn table4() -> String {
+pub fn table4(scenario: &Scenario) -> String {
+    let rel = &scenario.reliability;
     let mechanisms: Vec<Box<dyn FailureMechanism>> = vec![
-        Box::new(GateOxideBreakdown::fitted()),
-        Box::new(Electromigration::fitted()),
-        Box::new(ThermalCycling::fitted()),
+        Box::new(GateOxideBreakdown::from_spec(&rel.gate_oxide)),
+        Box::new(Electromigration::from_spec(&rel.electromigration)),
+        Box::new(ThermalCycling::from_spec(&rel.thermal_cycling)),
     ];
     let mark = |b: bool| if b { "yes" } else { "no" }.to_string();
     let rows: Vec<Vec<String>> = mechanisms
@@ -129,9 +132,9 @@ pub fn table4() -> String {
 }
 
 /// Table V: projected lifetimes at the six (cooling, OC) points.
-pub fn table5() -> String {
-    let model = CompositeLifetimeModel::fitted_5nm();
-    let rows: Vec<Vec<String>> = table5_rows()
+pub fn table5(scenario: &Scenario) -> String {
+    let model = CompositeLifetimeModel::from_calibration(&scenario.reliability);
+    let rows: Vec<Vec<String>> = table5_rows_from(&scenario.reliability)
         .into_iter()
         .map(|row| {
             let years = model.lifetime_years(&row.conditions);
@@ -176,8 +179,8 @@ pub fn table6() -> String {
 }
 
 /// Table VII: experimental CPU frequency configurations.
-pub fn table7() -> String {
-    let rows: Vec<Vec<String>> = CpuConfig::catalog()
+pub fn table7(scenario: &Scenario) -> String {
+    let rows: Vec<Vec<String>> = CpuConfig::catalog_from(&scenario.workloads)
         .into_iter()
         .map(|c| {
             vec![
@@ -205,8 +208,8 @@ pub fn table7() -> String {
 }
 
 /// Table VIII: GPU configurations.
-pub fn table8() -> String {
-    let rows: Vec<Vec<String>> = GpuConfig::catalog()
+pub fn table8(scenario: &Scenario) -> String {
+    let rows: Vec<Vec<String>> = GpuConfig::catalog_from(&scenario.workloads)
         .into_iter()
         .map(|c| {
             vec![
@@ -234,8 +237,8 @@ pub fn table8() -> String {
 }
 
 /// Table IX: applications and their metric of interest.
-pub fn table9() -> String {
-    let rows: Vec<Vec<String>> = AppProfile::catalog()
+pub fn table9(scenario: &Scenario) -> String {
+    let rows: Vec<Vec<String>> = AppProfile::catalog_from(&scenario.workloads)
         .into_iter()
         .map(|a| {
             vec![
@@ -306,33 +309,32 @@ pub fn table11(quick: bool) -> String {
 
 /// Structured Table III metrics: modeled steady-state junction
 /// temperature vs the paper's observed Tj, per platform.
-pub fn table3_metrics() -> Vec<crate::report::Metric> {
+pub fn table3_metrics(scenario: &Scenario) -> Vec<crate::report::Metric> {
     use crate::report::Metric;
-    let skus = [CpuSku::skylake_8168(), CpuSku::skylake_8180()];
-    let platforms = table3_platforms();
+    let platforms = table3_platforms_from(&scenario.thermal);
     let mut metrics = Vec::new();
-    for (i, sku) in skus.iter().enumerate() {
-        for j in 0..2 {
-            let (label, iface, _power, observed_tj) = &platforms[i * 2 + j];
-            let turbo = sku.max_turbo(iface, sku.tdp_w());
-            let ss = sku.steady_state(iface, turbo, sku.nominal_voltage());
-            metrics.push(Metric::with_paper(
-                format!("tj_c[{label}]"),
-                "celsius",
-                *observed_tj,
-                ss.tj_c,
-            ));
-        }
+    for (spec, (label, iface, _power, observed_tj)) in
+        scenario.thermal.platforms.iter().zip(&platforms)
+    {
+        let sku = CpuSku::by_name(&spec.sku).expect("known CPU SKU");
+        let turbo = sku.max_turbo(iface, sku.tdp_w());
+        let ss = sku.steady_state(iface, turbo, sku.nominal_voltage());
+        metrics.push(Metric::with_paper(
+            format!("tj_c[{label}]"),
+            "celsius",
+            *observed_tj,
+            ss.tj_c,
+        ));
     }
     metrics
 }
 
 /// Structured Table V metrics: modeled lifetime vs the paper's reported
 /// lifetime, per (cooling, overclocking) row.
-pub fn table5_metrics() -> Vec<crate::report::Metric> {
+pub fn table5_metrics(scenario: &Scenario) -> Vec<crate::report::Metric> {
     use crate::report::Metric;
-    let model = CompositeLifetimeModel::fitted_5nm();
-    table5_rows()
+    let model = CompositeLifetimeModel::from_calibration(&scenario.reliability);
+    table5_rows_from(&scenario.reliability)
         .into_iter()
         .map(|row| {
             Metric::with_paper(
@@ -405,16 +407,17 @@ mod tests {
 
     #[test]
     fn static_tables_render() {
+        let s = Scenario::paper();
         for t in [
             table1(),
-            table2(),
-            table3(),
-            table4(),
-            table5(),
+            table2(&s),
+            table3(&s),
+            table4(&s),
+            table5(&s),
             table6(),
-            table7(),
-            table8(),
-            table9(),
+            table7(&s),
+            table8(&s),
+            table9(&s),
         ] {
             assert!(t.contains("=="), "{t}");
             assert!(t.lines().count() >= 4);
@@ -423,14 +426,14 @@ mod tests {
 
     #[test]
     fn table3_shows_extra_bin() {
-        let t = table3();
+        let t = table3(&Scenario::paper());
         assert!(t.contains("3.1 GHz") && t.contains("3.2 GHz"));
         assert!(t.contains("2.6 GHz") && t.contains("2.7 GHz"));
     }
 
     #[test]
     fn table5_matches_paper_column() {
-        let t = table5();
+        let t = table5(&Scenario::paper());
         assert!(t.contains("> 10 years"));
         assert!(t.contains("< 1 year"));
     }

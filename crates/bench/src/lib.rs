@@ -33,6 +33,7 @@
 //! | `fig16_utilization` | Figure 16 — policy utilization traces |
 
 pub mod experiments;
+pub mod registry;
 pub mod report;
 
 /// Formats a floating value with a fixed width for table output.

@@ -1,0 +1,425 @@
+//! The experiment registry: every table and figure as a uniform,
+//! individually-addressable unit.
+//!
+//! Each entry pairs a stable id (`"table1"` ... `"fig16"`) with a render
+//! function (the human-readable table/series) and, where the paper
+//! reports numbers, a structured metrics function. The registry is the
+//! single source of the paper ordering: both the text report and the
+//! JSONL report walk it front to back, and the `--jobs` fan-out
+//! reassembles results in registration order so parallel runs are
+//! byte-identical to serial ones (modulo `wall_ms`).
+
+use crate::experiments::{figures, tables};
+use crate::report::{ExperimentRecord, Metric};
+use ic_scenario::Scenario;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Whether simulation-backed experiments run their shortened or full
+/// (paper-exact) schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Shortened schedules for fast runs (`run_all --quick`).
+    Quick,
+    /// The paper's full schedules.
+    Full,
+}
+
+impl Mode {
+    /// `true` for [`Mode::Quick`].
+    pub fn is_quick(self) -> bool {
+        matches!(self, Mode::Quick)
+    }
+}
+
+/// One runnable experiment: an id, a title, and the two output paths
+/// (rendered text and machine-readable record).
+pub trait Experiment: Sync {
+    /// Stable identifier in paper order (`"table1"` ... `"fig16"`).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title, as it appears in the JSONL records and
+    /// `run_all --list`.
+    fn title(&self) -> &'static str;
+
+    /// Renders the human-readable table/series.
+    fn render(&self, scenario: &Scenario, mode: Mode) -> String;
+
+    /// Produces the simulation-event count and structured metrics for
+    /// the machine-readable record. Analytic experiments default to
+    /// timing the render and reporting its line count.
+    fn measure(&self, scenario: &Scenario, mode: Mode) -> (u64, Vec<Metric>) {
+        let out = self.render(scenario, mode);
+        (
+            0,
+            vec![Metric::new(
+                "output_lines",
+                "count",
+                out.lines().count() as f64,
+            )],
+        )
+    }
+
+    /// Runs the experiment and assembles its record. `wall_ms` is the
+    /// only non-deterministic field.
+    fn run(&self, scenario: &Scenario, mode: Mode) -> ExperimentRecord {
+        let started = Instant::now();
+        let (sim_events, metrics) = self.measure(scenario, mode);
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title().to_string(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            sim_events,
+            metrics,
+        }
+    }
+}
+
+/// A metrics hook: simulation-event count plus paper-anchored metrics.
+type MetricsFn = fn(&Scenario, Mode) -> (u64, Vec<Metric>);
+
+/// A registry entry built from plain function pointers.
+#[derive(Debug)]
+pub struct FnExperiment {
+    id: &'static str,
+    title: &'static str,
+    render: fn(&Scenario, Mode) -> String,
+    /// `Some` for experiments with paper-anchored structured metrics;
+    /// `None` falls back to the line-count default.
+    metrics: Option<MetricsFn>,
+}
+
+impl Experiment for FnExperiment {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn title(&self) -> &'static str {
+        self.title
+    }
+    fn render(&self, scenario: &Scenario, mode: Mode) -> String {
+        (self.render)(scenario, mode)
+    }
+    fn measure(&self, scenario: &Scenario, mode: Mode) -> (u64, Vec<Metric>) {
+        match self.metrics {
+            Some(f) => f(scenario, mode),
+            None => {
+                let out = self.render(scenario, mode);
+                (
+                    0,
+                    vec![Metric::new(
+                        "output_lines",
+                        "count",
+                        out.lines().count() as f64,
+                    )],
+                )
+            }
+        }
+    }
+}
+
+/// All experiments in paper order.
+static REGISTRY: [FnExperiment; 23] = [
+    FnExperiment {
+        id: "table1",
+        title: "Table I: cooling technologies",
+        render: |_, _| tables::table1(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "table2",
+        title: "Table II: dielectric fluids",
+        render: |s, _| tables::table2(s),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "table3",
+        title: "Table III: max turbo, air vs 2PIC",
+        render: |s, _| tables::table3(s),
+        metrics: Some(|s, _| (0, tables::table3_metrics(s))),
+    },
+    FnExperiment {
+        id: "table4",
+        title: "Table IV: failure-mode dependencies",
+        render: |s, _| tables::table4(s),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "table5",
+        title: "Table V: projected lifetime",
+        render: |s, _| tables::table5(s),
+        metrics: Some(|s, _| (0, tables::table5_metrics(s))),
+    },
+    FnExperiment {
+        id: "table6",
+        title: "Table VI: TCO analysis",
+        render: |_, _| tables::table6(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "table7",
+        title: "Table VII: CPU frequency configurations",
+        render: |s, _| tables::table7(s),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "table8",
+        title: "Table VIII: GPU configurations",
+        render: |s, _| tables::table8(s),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "table9",
+        title: "Table IX: applications",
+        render: |s, _| tables::table9(s),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig4",
+        title: "Figure 4: operating domains",
+        render: |_, _| figures::fig4(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig5",
+        title: "Figure 5: high-performance VM classes",
+        render: |_, _| figures::fig5(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig6",
+        title: "Figure 6: static vs virtual buffers",
+        render: |_, _| figures::fig6(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig7",
+        title: "Figure 7: capacity crisis",
+        render: |_, _| figures::fig7(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig9",
+        title: "Figure 9: cloud workloads under overclocking",
+        render: |_, _| figures::fig9(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig10",
+        title: "Figure 10: STREAM bandwidth",
+        render: |_, _| figures::fig10(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig11",
+        title: "Figure 11: VGG training under GPU overclocking",
+        render: |_, _| figures::fig11(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig12",
+        title: "Figure 12: SQL P95 vs pcores",
+        render: |_, _| figures::fig12(),
+        metrics: Some(|_, _| (0, figures::fig12_metrics())),
+    },
+    FnExperiment {
+        id: "fig13",
+        title: "Figure 13 / Table X: oversubscription",
+        render: |_, _| figures::fig13(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig8",
+        title: "Figure 8: hiding vs avoiding the scale-out",
+        render: |_, m| figures::fig8(m.is_quick()),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig14",
+        title: "Figure 14: auto-scaling architecture",
+        render: |_, _| figures::fig14(),
+        metrics: None,
+    },
+    FnExperiment {
+        id: "fig15",
+        title: "Figure 15: Equation 1 validation",
+        render: |_, m| figures::fig15(m.is_quick()),
+        metrics: Some(|_, m| figures::fig15_record(m.is_quick())),
+    },
+    FnExperiment {
+        id: "fig16",
+        title: "Figure 16: utilization under the three policies",
+        render: |_, m| figures::fig16(m.is_quick()),
+        metrics: Some(|_, m| figures::fig16_record(m.is_quick())),
+    },
+    FnExperiment {
+        id: "table11",
+        title: "Table XI: auto-scaler comparison",
+        render: |_, m| tables::table11(m.is_quick()),
+        metrics: Some(|_, m| tables::table11_record(m.is_quick())),
+    },
+];
+
+/// The full registry in paper order.
+pub fn registry() -> &'static [FnExperiment] {
+    &REGISTRY
+}
+
+/// A selection referencing an experiment id the registry doesn't have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownExperiment {
+    /// The offending id.
+    pub id: String,
+}
+
+impl fmt::Display for UnknownExperiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown experiment id {:?} (run with --list to see the registry)",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for UnknownExperiment {}
+
+/// Resolves an optional `--only` id list against the registry. The
+/// selection always comes back in registration (paper) order, whatever
+/// order the ids were given in; `None` selects everything.
+pub fn select(only: Option<&[String]>) -> Result<Vec<&'static FnExperiment>, UnknownExperiment> {
+    match only {
+        None => Ok(REGISTRY.iter().collect()),
+        Some(ids) => {
+            for id in ids {
+                if !REGISTRY.iter().any(|e| e.id == id) {
+                    return Err(UnknownExperiment { id: id.clone() });
+                }
+            }
+            Ok(REGISTRY
+                .iter()
+                .filter(|e| ids.iter().any(|id| id == e.id))
+                .collect())
+        }
+    }
+}
+
+/// Runs `run(0..n)` across up to `jobs` worker threads, pulling indices
+/// from a shared counter, and returns the results in index order. With
+/// `jobs <= 1` everything runs on the calling thread; either way the
+/// output order is deterministic.
+fn fan_out<T: Send>(n: usize, jobs: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs == 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = run(i);
+                done.lock().unwrap().push((i, out));
+            });
+        }
+    });
+    let mut done = done.into_inner().unwrap();
+    done.sort_by_key(|(i, _)| *i);
+    done.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Renders the selected experiments (all of them for `only: None`) and
+/// joins them into the combined text report, fanning out across `jobs`
+/// threads.
+pub fn render_selected(
+    scenario: &Scenario,
+    mode: Mode,
+    jobs: usize,
+    only: Option<&[String]>,
+) -> Result<String, UnknownExperiment> {
+    let selected = select(only)?;
+    let outputs = fan_out(selected.len(), jobs, |i| selected[i].render(scenario, mode));
+    Ok(outputs.join("\n"))
+}
+
+/// Runs the selected experiments (all of them for `only: None`) and
+/// returns their records in registration order, fanning out across
+/// `jobs` threads.
+pub fn run_selected(
+    scenario: &Scenario,
+    mode: Mode,
+    jobs: usize,
+    only: Option<&[String]>,
+) -> Result<Vec<ExperimentRecord>, UnknownExperiment> {
+    let selected = select(only)?;
+    Ok(fan_out(selected.len(), jobs, |i| {
+        selected[i].run(scenario, mode)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_in_paper_order() {
+        let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
+        assert_eq!(ids.len(), 23);
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len(), "duplicate experiment id");
+        assert_eq!(ids.first(), Some(&"table1"));
+        assert_eq!(ids.last(), Some(&"table11"));
+    }
+
+    #[test]
+    fn select_preserves_registration_order() {
+        let ids = vec!["fig4".to_string(), "table2".to_string()];
+        let picked = select(Some(&ids)).unwrap();
+        let picked: Vec<&str> = picked.iter().map(|e| e.id()).collect();
+        assert_eq!(picked, ["table2", "fig4"]);
+    }
+
+    #[test]
+    fn select_rejects_unknown_ids() {
+        let ids = vec!["table99".to_string()];
+        let err = select(Some(&ids)).unwrap_err();
+        assert_eq!(err.id, "table99");
+        assert!(err.to_string().contains("table99"));
+    }
+
+    #[test]
+    fn fan_out_orders_by_index() {
+        for jobs in [1, 2, 7, 64] {
+            let out = fan_out(20, jobs, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "{jobs}");
+        }
+        assert!(fan_out(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_records_match_serial_modulo_wall_ms() {
+        let s = Scenario::paper();
+        let only = vec![
+            "table2".to_string(),
+            "table3".to_string(),
+            "table5".to_string(),
+            "fig12".to_string(),
+        ];
+        let serial = run_selected(&s, Mode::Quick, 1, Some(&only)).unwrap();
+        let parallel = run_selected(&s, Mode::Quick, 4, Some(&only)).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.title, b.title);
+            assert_eq!(a.sim_events, b.sim_events);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+}

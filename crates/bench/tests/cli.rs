@@ -1,0 +1,120 @@
+//! End-to-end tests for the `run_all` binary: flag handling, registry
+//! coverage, scenario loading, and the `--jobs` determinism contract.
+//!
+//! These spawn the compiled binary (via `CARGO_BIN_EXE_run_all`) so they
+//! exercise argument parsing and exit codes exactly as a user would.
+
+use ic_bench::registry::{registry, Experiment};
+use ic_scenario::Scenario;
+use std::process::Command;
+
+fn run_all(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(args)
+        .output()
+        .expect("run_all binary spawns")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = run_all(args);
+    assert!(
+        out.status.success(),
+        "run_all {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// Strips the one nondeterministic field from a JSONL report.
+fn normalize_wall_ms(jsonl: &str) -> String {
+    jsonl
+        .lines()
+        .map(|line| {
+            let mut s = line.to_string();
+            if let Some(start) = s.find("\"wall_ms\":") {
+                let tail = start + "\"wall_ms\":".len();
+                let end = s[tail..]
+                    .find([',', '}'])
+                    .map(|i| tail + i)
+                    .unwrap_or(s.len());
+                s.replace_range(tail..end, "X");
+            }
+            s + "\n"
+        })
+        .collect()
+}
+
+#[test]
+fn list_prints_every_registered_experiment() {
+    let listing = stdout_of(&["--list"]);
+    let listed: Vec<&str> = listing
+        .lines()
+        .map(|l| l.split_whitespace().next().expect("id column"))
+        .collect();
+    let expected: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+    assert_eq!(listed, expected, "--list must mirror registration order");
+}
+
+#[test]
+fn only_filters_in_registration_order() {
+    // Request out of registration order; output must come back in it.
+    let out = stdout_of(&["--quick", "--json", "--only", "fig4,table2"]);
+    let ids: Vec<String> = out
+        .lines()
+        .map(|l| {
+            let start = l.find("\"id\":\"").expect("id field") + 6;
+            let end = l[start..].find('"').expect("closing quote") + start;
+            l[start..end].to_string()
+        })
+        .collect();
+    assert_eq!(ids, ["table2", "fig4"]);
+}
+
+#[test]
+fn unknown_id_fails_with_diagnostic() {
+    let out = run_all(&["--only", "nope"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown experiment id") && stderr.contains("nope"),
+        "stderr was: {stderr}"
+    );
+}
+
+#[test]
+fn unreadable_scenario_fails_with_diagnostic() {
+    let out = run_all(&["--scenario", "/nonexistent/scenario.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read scenario"),
+        "stderr was: {stderr}"
+    );
+}
+
+#[test]
+fn paper_scenario_file_reproduces_the_default_run() {
+    let dir = std::env::temp_dir().join(format!("ic-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("paper.json");
+    std::fs::write(&path, Scenario::paper().to_json()).expect("write scenario");
+
+    let from_file = stdout_of(&["--quick", "--scenario", path.to_str().expect("utf-8 path")]);
+    let default = stdout_of(&["--quick"]);
+    assert_eq!(from_file, default, "paper scenario file must be a no-op");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jobs_do_not_change_the_report() {
+    let serial = stdout_of(&["--quick", "--json", "--jobs", "1"]);
+    let parallel = stdout_of(&["--quick", "--json", "--jobs", "8"]);
+    assert_eq!(
+        normalize_wall_ms(&serial),
+        normalize_wall_ms(&parallel),
+        "--jobs 8 must emit byte-identical records (modulo wall_ms)"
+    );
+    assert_eq!(serial.lines().count(), registry().len());
+}

@@ -7,6 +7,29 @@
 
 use crate::server::Server;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An invalid placement configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementError {
+    /// An oversubscription ratio below 1 or non-finite.
+    InvalidRatio {
+        /// The rejected ratio.
+        ratio: f64,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InvalidRatio { ratio } => {
+                write!(f, "oversubscription ratio {ratio} must be >= 1 and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
 
 /// How aggressively pcores are oversubscribed.
 ///
@@ -32,17 +55,24 @@ impl Oversubscription {
     }
 
     /// A vcore:pcore ratio (e.g. 1.25 for the paper's 20/16 scenarios).
+    /// Ratios below 1 are rejected: use live migration, not
+    /// undersubscription, to shed load.
+    pub fn try_ratio(ratio: f64) -> Result<Self, PlacementError> {
+        if ratio >= 1.0 && ratio.is_finite() {
+            Ok(Oversubscription { ratio })
+        } else {
+            Err(PlacementError::InvalidRatio { ratio })
+        }
+    }
+
+    /// Panicking shorthand for [`Oversubscription::try_ratio`], for
+    /// ratios known valid at the call site.
     ///
     /// # Panics
     ///
-    /// Panics if `ratio < 1` or is not finite (use live migration, not
-    /// undersubscription, to shed load).
+    /// Panics if `ratio < 1` or is not finite.
     pub fn ratio(ratio: f64) -> Self {
-        assert!(
-            ratio >= 1.0 && ratio.is_finite(),
-            "oversubscription ratio {ratio} must be >= 1"
-        );
-        Oversubscription { ratio }
+        Self::try_ratio(ratio).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The configured ratio.
@@ -99,8 +129,7 @@ impl PlacementPolicy {
                     };
                     let (av, am) = rem(a);
                     let (bv, bm) = rem(b);
-                    av.cmp(&bv)
-                        .then(am.partial_cmp(&bm).expect("finite memory"))
+                    av.cmp(&bv).then(am.total_cmp(&bm))
                 })
                 .map(|(i, _)| i),
             PlacementPolicy::WorstFit => servers
@@ -205,5 +234,21 @@ mod tests {
     #[should_panic(expected = "must be >= 1")]
     fn undersubscription_panics() {
         let _ = Oversubscription::ratio(0.5);
+    }
+
+    #[test]
+    fn try_ratio_reports_typed_error() {
+        assert_eq!(
+            Oversubscription::try_ratio(0.5),
+            Err(PlacementError::InvalidRatio { ratio: 0.5 })
+        );
+        assert!(Oversubscription::try_ratio(f64::NAN).is_err());
+        assert!(Oversubscription::try_ratio(f64::INFINITY).is_err());
+        assert_eq!(
+            Oversubscription::try_ratio(1.25).unwrap(),
+            Oversubscription::ratio(1.25)
+        );
+        let msg = PlacementError::InvalidRatio { ratio: 0.5 }.to_string();
+        assert!(msg.contains("0.5") && msg.contains(">= 1"));
     }
 }

@@ -12,10 +12,13 @@
 //!
 //! Wall-clock timings are host noise and stay out of trace output; they
 //! exist so a profile of "which event kind dominates runtime" falls out
-//! of any instrumented run.
+//! of any instrumented run. The core engine never reads the host clock —
+//! this observer stamps its own [`Instant`] in `on_event_start` and
+//! measures the elapsed time when the post-event record arrives.
 
 use crate::metrics::MetricsHandle;
 use ic_sim::observe::{EngineObserver, EventRecord};
+use std::time::Instant;
 
 /// First bin edge for handler-time histograms: 100 ns.
 const EVENT_SECONDS_FIRST_EDGE: f64 = 1e-7;
@@ -45,6 +48,7 @@ const EVENT_SECONDS_BINS: usize = 36;
 pub struct EngineMetrics {
     metrics: MetricsHandle,
     max_depth: usize,
+    started: Option<Instant>,
 }
 
 impl EngineMetrics {
@@ -53,12 +57,22 @@ impl EngineMetrics {
         EngineMetrics {
             metrics,
             max_depth: 0,
+            started: None,
         }
     }
 }
 
 impl EngineObserver for EngineMetrics {
+    fn on_event_start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
     fn on_event(&mut self, record: &EventRecord) {
+        let wall_seconds = self
+            .started
+            .take()
+            .map(|s| s.elapsed().as_secs_f64())
+            .unwrap_or(0.0);
         self.max_depth = self.max_depth.max(record.queue_depth);
         let mut m = self.metrics.borrow_mut();
         m.counter_add(&format!("engine_events_total{{{}}}", record.kind), 1);
@@ -71,7 +85,7 @@ impl EngineObserver for EngineMetrics {
             EVENT_SECONDS_GROWTH,
             EVENT_SECONDS_BINS,
         );
-        m.histogram_record(&hist_name, record.wall_seconds);
+        m.histogram_record(&hist_name, wall_seconds);
     }
 }
 

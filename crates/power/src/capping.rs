@@ -11,6 +11,34 @@
 //! reducing the lowest-priority consumers toward their floors first.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An invalid capping configuration or request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapError {
+    /// A negative or non-finite power budget.
+    InvalidBudget {
+        /// The rejected budget, watts.
+        budget_w: f64,
+    },
+    /// A request with a negative floor, non-finite demand, or
+    /// `demand_w < floor_w`.
+    InvalidRequest {
+        /// The rejected request.
+        request: PowerRequest,
+    },
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::InvalidBudget { budget_w } => write!(f, "invalid budget {budget_w}"),
+            CapError::InvalidRequest { request } => write!(f, "invalid request {request:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
 
 /// How important a power consumer is when the budget runs short.
 /// Higher variants are throttled later.
@@ -72,17 +100,24 @@ pub struct PowerAllocator {
 }
 
 impl PowerAllocator {
-    /// Creates an allocator with the given budget.
+    /// Creates an allocator with the given budget. Negative or
+    /// non-finite budgets are rejected.
+    pub fn try_new(budget_w: f64) -> Result<Self, CapError> {
+        if budget_w.is_finite() && budget_w >= 0.0 {
+            Ok(PowerAllocator { budget_w })
+        } else {
+            Err(CapError::InvalidBudget { budget_w })
+        }
+    }
+
+    /// Panicking shorthand for [`PowerAllocator::try_new`], for budgets
+    /// known valid at the call site.
     ///
     /// # Panics
     ///
     /// Panics if `budget_w` is negative or non-finite.
     pub fn new(budget_w: f64) -> Self {
-        assert!(
-            budget_w.is_finite() && budget_w >= 0.0,
-            "invalid budget {budget_w}"
-        );
-        PowerAllocator { budget_w }
+        Self::try_new(budget_w).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The budget in watts.
@@ -104,17 +139,13 @@ impl PowerAllocator {
     /// is shared proportionally to each consumer's headroom
     /// (`demand − floor`).
     ///
-    /// Grants are returned in the same order as `requests`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any request has `demand_w < floor_w` or negative values.
-    pub fn allocate(&self, requests: &[PowerRequest]) -> Vec<PowerGrant> {
+    /// Grants are returned in the same order as `requests`. A request
+    /// with `demand_w < floor_w` or negative values is rejected.
+    pub fn try_allocate(&self, requests: &[PowerRequest]) -> Result<Vec<PowerGrant>, CapError> {
         for r in requests {
-            assert!(
-                r.floor_w >= 0.0 && r.demand_w >= r.floor_w && r.demand_w.is_finite(),
-                "invalid request {r:?}"
-            );
+            if !(r.floor_w >= 0.0 && r.demand_w >= r.floor_w && r.demand_w.is_finite()) {
+                return Err(CapError::InvalidRequest { request: r.clone() });
+            }
         }
         let floors: f64 = requests.iter().map(|r| r.floor_w).sum();
         let mut remaining = (self.budget_w - floors).max(0.0);
@@ -159,7 +190,7 @@ impl PowerAllocator {
             i = j;
         }
 
-        requests
+        Ok(requests
             .iter()
             .zip(granted)
             .map(|(r, g)| PowerGrant {
@@ -167,7 +198,18 @@ impl PowerAllocator {
                 granted_w: g,
                 capped: g < r.demand_w - 1e-9,
             })
-            .collect()
+            .collect())
+    }
+
+    /// Panicking shorthand for [`PowerAllocator::try_allocate`], for
+    /// requests known valid at the call site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request has `demand_w < floor_w` or negative values.
+    pub fn allocate(&self, requests: &[PowerRequest]) -> Vec<PowerGrant> {
+        self.try_allocate(requests)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -283,5 +325,32 @@ mod tests {
     #[should_panic(expected = "invalid request")]
     fn demand_below_floor_panics() {
         PowerAllocator::new(100.0).allocate(&[req(1, Priority::Batch, 50.0, 10.0)]);
+    }
+
+    #[test]
+    fn try_new_reports_typed_error() {
+        assert_eq!(
+            PowerAllocator::try_new(-1.0),
+            Err(CapError::InvalidBudget { budget_w: -1.0 })
+        );
+        assert!(PowerAllocator::try_new(f64::NAN).is_err());
+        assert_eq!(PowerAllocator::try_new(500.0).unwrap().budget_w(), 500.0);
+        let msg = CapError::InvalidBudget { budget_w: -1.0 }.to_string();
+        assert!(msg.contains("invalid budget"));
+    }
+
+    #[test]
+    fn try_allocate_reports_typed_error() {
+        let alloc = PowerAllocator::new(100.0);
+        let bad = req(7, Priority::Batch, 50.0, 10.0);
+        match alloc.try_allocate(std::slice::from_ref(&bad)) {
+            Err(CapError::InvalidRequest { request }) => assert_eq!(request, bad),
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+        let ok = alloc
+            .try_allocate(&[req(1, Priority::Normal, 10.0, 50.0)])
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(!ok[0].capped);
     }
 }

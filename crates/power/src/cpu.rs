@@ -179,6 +179,19 @@ impl CpuSku {
         )
     }
 
+    /// Looks a preset SKU up by its marketing name (case-insensitive);
+    /// scenario platform specs reference SKUs through these names.
+    pub fn by_name(name: &str) -> Option<CpuSku> {
+        [
+            Self::skylake_8168(),
+            Self::skylake_8180(),
+            Self::xeon_w3175x(),
+            Self::i9_9900k(),
+        ]
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+    }
+
     /// The SKU's marketing name.
     pub fn name(&self) -> &str {
         &self.name

@@ -7,6 +7,7 @@
 //! consumption"); this module's default model is calibrated to reproduce
 //! exactly that.
 
+use ic_scenario::{LeakageSpec, PowerCalibration};
 use serde::{Deserialize, Serialize};
 
 use crate::units::Voltage;
@@ -46,14 +47,21 @@ impl LeakageModel {
         LeakageModel { k, beta }
     }
 
+    /// Builds a model from a scenario's leakage coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LeakageModel::new`]; a spec
+    /// from a validated [`ic_scenario::Scenario`] never does.
+    pub fn from_spec(spec: &LeakageSpec) -> Self {
+        Self::new(spec.k_w_per_v2, spec.beta_per_c)
+    }
+
     /// The Skylake-class model calibrated so that a 0.90 V socket leaks
     /// 11 W more at 92 °C (air-cooled Table III junction temperature)
     /// than at 68 °C (2PIC), with β = 0.022/°C.
     pub fn skylake() -> Self {
-        // Solve k·0.81·(e^{β·92} − e^{β·68}) = 11 for k with β = 0.022.
-        let beta: f64 = 0.022;
-        let k = 11.0 / (0.81 * ((beta * 92.0).exp() - (beta * 68.0).exp()));
-        LeakageModel { k, beta }
+        Self::from_spec(&PowerCalibration::paper().leakage)
     }
 
     /// Static power in watts at junction temperature `tj_c` and rail

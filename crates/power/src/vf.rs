@@ -8,6 +8,7 @@
 //! paper explores — and expose the Table VII-style voltage offset knob.
 
 use crate::units::{Frequency, Voltage};
+use ic_scenario::{PowerCalibration, VfAnchors};
 use serde::{Deserialize, Serialize};
 
 /// A linear voltage/frequency curve anchored at the nominal operating
@@ -63,24 +64,44 @@ impl VfCurve {
         }
     }
 
+    /// Builds the curve through a scenario's two V/f anchor points.
+    pub fn from_anchors(anchors: &VfAnchors) -> Self {
+        VfCurve::from_points(
+            (
+                Frequency::from_ghz(anchors.nominal_ghz),
+                Voltage::from_volts(anchors.nominal_v),
+            ),
+            (
+                Frequency::from_ghz(anchors.nominal_ghz * anchors.oc_frequency_ratio),
+                Voltage::from_volts(anchors.oc_v),
+            ),
+        )
+    }
+
+    /// The scenario's curve re-anchored at another nominal frequency:
+    /// the anchor voltages and overclock ratio carry over, as the paper
+    /// does when extrapolating from the W-3175X to locked SKUs.
+    pub fn from_anchors_at(anchors: &VfAnchors, all_core_turbo: Frequency) -> Self {
+        let oc = Frequency::from_mhz(
+            (all_core_turbo.mhz() as f64 * anchors.oc_frequency_ratio).round() as u32,
+        );
+        VfCurve::from_points(
+            (all_core_turbo, Voltage::from_volts(anchors.nominal_v)),
+            (oc, Voltage::from_volts(anchors.oc_v)),
+        )
+    }
+
     /// The paper's measured Xeon W-3175X curve: all-core turbo 3.4 GHz at
     /// 0.90 V, +23 % (≈ 4.18 GHz) at 0.98 V.
     pub fn xeon_w3175x() -> Self {
-        VfCurve::from_points(
-            (Frequency::from_ghz(3.4), Voltage::from_volts(0.90)),
-            (Frequency::from_ghz(3.4 * 1.23), Voltage::from_volts(0.98)),
-        )
+        Self::from_anchors(&PowerCalibration::paper().vf)
     }
 
     /// The equivalent curve for the locked server Skylakes (8168/8180),
     /// extrapolated from the W-3175X as the paper does: nominal all-core
     /// turbo at 0.90 V, +23 % at 0.98 V.
     pub fn skylake_server(all_core_turbo: Frequency) -> Self {
-        let oc = Frequency::from_mhz((all_core_turbo.mhz() as f64 * 1.23).round() as u32);
-        VfCurve::from_points(
-            (all_core_turbo, Voltage::from_volts(0.90)),
-            (oc, Voltage::from_volts(0.98)),
-        )
+        Self::from_anchors_at(&PowerCalibration::paper().vf, all_core_turbo)
     }
 
     /// Returns a copy with an additional fixed voltage offset (the

@@ -6,6 +6,7 @@
 
 pub use crate::mechanisms::OperatingConditions;
 use crate::mechanisms::{Electromigration, FailureMechanism, GateOxideBreakdown, ThermalCycling};
+use ic_scenario::ReliabilityCalibration;
 use serde::{Deserialize, Serialize};
 
 /// A composite (series-system) lifetime model.
@@ -40,17 +41,23 @@ pub struct RateContribution {
 }
 
 impl CompositeLifetimeModel {
+    /// Builds the composite from a scenario's fit coefficients: gate-
+    /// oxide breakdown + electromigration + thermal cycling.
+    pub fn from_calibration(cal: &ReliabilityCalibration) -> Self {
+        CompositeLifetimeModel {
+            mechanisms: vec![
+                Box::new(GateOxideBreakdown::from_spec(&cal.gate_oxide)),
+                Box::new(Electromigration::from_spec(&cal.electromigration)),
+                Box::new(ThermalCycling::from_spec(&cal.thermal_cycling)),
+            ],
+        }
+    }
+
     /// The model fitted to the fab's 5 nm composite model as exposed by
     /// Table V: gate-oxide breakdown + electromigration + thermal
     /// cycling.
     pub fn fitted_5nm() -> Self {
-        CompositeLifetimeModel {
-            mechanisms: vec![
-                Box::new(GateOxideBreakdown::fitted()),
-                Box::new(Electromigration::fitted()),
-                Box::new(ThermalCycling::fitted()),
-            ],
-        }
+        Self::from_calibration(&ReliabilityCalibration::paper())
     }
 
     /// Builds a composite from arbitrary mechanisms (primarily for
@@ -143,46 +150,22 @@ pub struct Table5Row {
     pub paper_years: f64,
 }
 
+/// The lifetime fit points of a reliability calibration, in table order.
+pub fn table5_rows_from(cal: &ReliabilityCalibration) -> Vec<Table5Row> {
+    cal.table5
+        .iter()
+        .map(|p| Table5Row {
+            cooling: ic_scenario::intern(&p.cooling),
+            overclocked: p.overclocked,
+            conditions: OperatingConditions::new(p.voltage_v, p.tj_max_c, p.tj_min_c),
+            paper_years: p.paper_years,
+        })
+        .collect()
+}
+
 /// The six Table V configurations with the paper's reported lifetimes.
 pub fn table5_rows() -> Vec<Table5Row> {
-    vec![
-        Table5Row {
-            cooling: "Air cooling",
-            overclocked: false,
-            conditions: OperatingConditions::new(0.90, 85.0, 20.0),
-            paper_years: 5.0,
-        },
-        Table5Row {
-            cooling: "Air cooling",
-            overclocked: true,
-            conditions: OperatingConditions::new(0.98, 101.0, 20.0),
-            paper_years: 1.0,
-        },
-        Table5Row {
-            cooling: "FC-3284",
-            overclocked: false,
-            conditions: OperatingConditions::new(0.90, 66.0, 50.0),
-            paper_years: 10.0,
-        },
-        Table5Row {
-            cooling: "FC-3284",
-            overclocked: true,
-            conditions: OperatingConditions::new(0.98, 74.0, 50.0),
-            paper_years: 4.0,
-        },
-        Table5Row {
-            cooling: "HFE-7000",
-            overclocked: false,
-            conditions: OperatingConditions::new(0.90, 51.0, 35.0),
-            paper_years: 10.0,
-        },
-        Table5Row {
-            cooling: "HFE-7000",
-            overclocked: true,
-            conditions: OperatingConditions::new(0.98, 60.0, 35.0),
-            paper_years: 5.0,
-        },
-    ]
+    table5_rows_from(&ReliabilityCalibration::paper())
 }
 
 #[cfg(test)]

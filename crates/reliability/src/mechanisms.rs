@@ -10,6 +10,9 @@
 //! model in [`crate::lifetime`] sums rates (series system). Parameter
 //! values are fitted to Table V — see the crate-level table.
 
+use ic_scenario::{
+    ElectromigrationSpec, GateOxideSpec, ReliabilityCalibration, ThermalCyclingSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -119,13 +122,18 @@ pub struct GateOxideBreakdown {
 }
 
 impl GateOxideBreakdown {
+    /// Builds the mechanism from a scenario's fit coefficients.
+    pub fn from_spec(spec: &GateOxideSpec) -> Self {
+        GateOxideBreakdown {
+            a: spec.ln_a.exp(),
+            gamma: spec.gamma_per_v,
+            ea_ev: spec.ea_ev,
+        }
+    }
+
     /// The fitted 5 nm-composite parameters.
     pub fn fitted() -> Self {
-        GateOxideBreakdown {
-            a: (-10.517_42f64).exp(),
-            gamma: 14.320_047,
-            ea_ev: 0.147_369,
-        }
+        Self::from_spec(&ReliabilityCalibration::paper().gate_oxide)
     }
 }
 
@@ -164,12 +172,17 @@ pub struct Electromigration {
 }
 
 impl Electromigration {
+    /// Builds the mechanism from a scenario's fit coefficients.
+    pub fn from_spec(spec: &ElectromigrationSpec) -> Self {
+        Electromigration {
+            a: spec.ln_a.exp(),
+            ea_ev: spec.ea_ev,
+        }
+    }
+
     /// The fitted 5 nm-composite parameters.
     pub fn fitted() -> Self {
-        Electromigration {
-            a: 37.473_263f64.exp(),
-            ea_ev: 1.263_354,
-        }
+        Self::from_spec(&ReliabilityCalibration::paper().electromigration)
     }
 }
 
@@ -208,12 +221,17 @@ pub struct ThermalCycling {
 }
 
 impl ThermalCycling {
+    /// Builds the mechanism from a scenario's fit coefficients.
+    pub fn from_spec(spec: &ThermalCyclingSpec) -> Self {
+        ThermalCycling {
+            b: spec.ln_b.exp(),
+            q: spec.q,
+        }
+    }
+
     /// The fitted 5 nm-composite parameters.
     pub fn fitted() -> Self {
-        ThermalCycling {
-            b: (-48.455_511f64).exp(),
-            q: 11.0,
-        }
+        Self::from_spec(&ReliabilityCalibration::paper().thermal_cycling)
     }
 }
 

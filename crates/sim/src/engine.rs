@@ -13,7 +13,6 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
-use std::time::Instant;
 
 /// An event handler: runs against the simulation state and may schedule
 /// further events through the engine.
@@ -200,11 +199,11 @@ impl<S> Engine<S> {
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
             let kind = ev.kind;
-            let started = self.observer.as_ref().map(|_| Instant::now());
+            let observed = self.notify_event_start();
             (ev.run)(state, self);
             self.processed += 1;
             executed += 1;
-            self.notify_observer(kind, started);
+            self.notify_observer(kind, observed);
         }
         if deadline != SimTime::MAX && deadline > self.now {
             self.now = deadline;
@@ -218,24 +217,39 @@ impl<S> Engine<S> {
         let ev = self.queue.pop()?;
         self.now = ev.at;
         let kind = ev.kind;
-        let started = self.observer.as_ref().map(|_| Instant::now());
+        let observed = self.notify_event_start();
         (ev.run)(state, self);
         self.processed += 1;
-        self.notify_observer(kind, started);
+        self.notify_observer(kind, observed);
         Some(self.now)
     }
 
+    /// Announces an imminent handler to the observer, if attached.
+    /// Returns whether one was — the post-event record is only delivered
+    /// when the observer saw the start too.
+    fn notify_event_start(&mut self) -> bool {
+        match self.observer.as_mut() {
+            Some(observer) => {
+                observer.on_event_start();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Delivers one post-event record to the observer, if attached.
-    /// `started` is `Some` exactly when an observer was attached before
+    /// `observed` is `true` exactly when an observer was attached before
     /// the handler ran; a handler that detaches the observer mid-flight
     /// simply loses that one record.
-    fn notify_observer(&mut self, kind: &'static str, started: Option<Instant>) {
-        if let (Some(observer), Some(started)) = (self.observer.as_mut(), started) {
+    fn notify_observer(&mut self, kind: &'static str, observed: bool) {
+        if !observed {
+            return;
+        }
+        if let Some(observer) = self.observer.as_mut() {
             observer.on_event(&EventRecord {
                 at: self.now,
                 kind,
                 queue_depth: self.queue.len(),
-                wall_seconds: started.elapsed().as_secs_f64(),
             });
         }
     }

@@ -6,10 +6,13 @@
 //! after the handler returns, so queue depth reflects any follow-up
 //! events the handler scheduled.
 //!
-//! Observation must never perturb the simulation: records carry the
-//! simulation clock and a wall-clock handler duration measured outside
-//! the simulated world, and the engine behaves identically with or
-//! without an observer attached.
+//! Observation must never perturb the simulation: records carry only
+//! the simulation clock, and the engine behaves identically with or
+//! without an observer attached. Wall-clock handler timing is the
+//! observer's business — the core engine never reads the host clock.
+//! An observer that wants it stamps its own timestamp in
+//! [`EngineObserver::on_event_start`] and measures the elapsed time in
+//! [`EngineObserver::on_event`] (see `ic-obs`'s `EngineMetrics`).
 
 use crate::time::SimTime;
 
@@ -23,14 +26,15 @@ pub struct EventRecord {
     pub kind: &'static str,
     /// Events still pending after the handler ran.
     pub queue_depth: usize,
-    /// Wall-clock seconds the handler took. This is host noise, not
-    /// simulation state — suitable for performance histograms, never
-    /// for traces that must replay deterministically.
-    pub wall_seconds: f64,
 }
 
 /// A sink for per-event engine telemetry.
 pub trait EngineObserver {
+    /// Called immediately before an event's handler runs. The default
+    /// does nothing; observers that time handlers capture their own
+    /// wall-clock timestamp here.
+    fn on_event_start(&mut self) {}
+
     /// Called once per executed event, after its handler returns.
     fn on_event(&mut self, record: &EventRecord);
 }

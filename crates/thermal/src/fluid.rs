@@ -5,6 +5,7 @@
 //! years. The paper uses 3M FC-3284 (Fluorinert) in small tank #2 and the
 //! large tank, and 3M HFE-7000 (Novec 7000) in small tank #1.
 
+use ic_scenario::{FluidSpec, ThermalCalibration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,17 +34,35 @@ pub struct DielectricFluid {
 }
 
 impl DielectricFluid {
+    /// Builds a fluid from a scenario specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`DielectricFluid::custom`];
+    /// a spec from a validated [`ic_scenario::Scenario`] never does.
+    pub fn from_spec(spec: &FluidSpec) -> Self {
+        Self::custom(
+            spec.name.clone(),
+            spec.boiling_point_c,
+            spec.dielectric_constant,
+            spec.latent_heat_j_per_g,
+            spec.useful_life_years,
+            spec.high_gwp,
+        )
+    }
+
+    fn paper_fluid(name: &str) -> Self {
+        Self::from_spec(
+            ThermalCalibration::paper()
+                .fluid(name)
+                .expect("paper calibration fluid"),
+        )
+    }
+
     /// 3M Fluorinert FC-3284: boils at 50 °C, latent heat 105 J/g
     /// (Table II). Used in small tank #2 and the 36-blade large tank.
     pub fn fc3284() -> Self {
-        DielectricFluid {
-            name: "3M FC-3284".to_string(),
-            boiling_point_c: 50.0,
-            dielectric_constant: 1.86,
-            latent_heat_j_per_g: 105.0,
-            useful_life_years: 30.0,
-            high_gwp: true,
-        }
+        Self::paper_fluid("3M FC-3284")
     }
 
     /// 3M Novec HFE-7000: boils at 34 °C, latent heat 142 J/g (Table II).
@@ -51,14 +70,7 @@ impl DielectricFluid {
     /// boiling point yields the lowest junction temperatures, which is what
     /// lets overclocked lifetime match the air-cooled baseline (Table V).
     pub fn hfe7000() -> Self {
-        DielectricFluid {
-            name: "3M HFE-7000".to_string(),
-            boiling_point_c: 34.0,
-            dielectric_constant: 7.4,
-            latent_heat_j_per_g: 142.0,
-            useful_life_years: 30.0,
-            high_gwp: true,
-        }
+        Self::paper_fluid("3M HFE-7000")
     }
 
     /// Creates a custom fluid, e.g. to explore the lower-GWP alternatives

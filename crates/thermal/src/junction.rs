@@ -16,6 +16,7 @@
 //! and reuse the same structure for the Table V lifetime configurations.
 
 use crate::fluid::{BoilingCoating, DielectricFluid};
+use ic_scenario::{CoolingSpec, PlatformSpec, ThermalCalibration};
 use serde::{Deserialize, Serialize};
 
 /// A calibrated junction-to-coolant thermal interface.
@@ -151,42 +152,62 @@ impl ThermalInterface {
         assert!(idle_w <= peak_w, "idle power exceeds peak power");
         self.junction_temp_c(peak_w) - self.junction_temp_c(idle_w)
     }
+
+    /// Builds the interface described by a scenario platform, resolving
+    /// any two-phase fluid against the calibration's fluid list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform names a fluid absent from `cal`; a spec
+    /// from a validated [`ic_scenario::Scenario`] never does.
+    pub fn from_platform(spec: &PlatformSpec, cal: &ThermalCalibration) -> Self {
+        match &spec.cooling {
+            CoolingSpec::Air {
+                inlet_c,
+                case_rise_c,
+            } => ThermalInterface::air(*inlet_c, *case_rise_c, spec.r_th_c_per_w),
+            CoolingSpec::TwoPhase { fluid, superheat_c } => {
+                let fluid_spec = cal
+                    .fluid(fluid)
+                    .unwrap_or_else(|| panic!("platform {}: unknown fluid '{fluid}'", spec.label));
+                ThermalInterface::two_phase(
+                    DielectricFluid::from_spec(fluid_spec),
+                    spec.r_th_c_per_w,
+                    *superheat_c,
+                )
+            }
+        }
+    }
+}
+
+/// The characterization rows of a thermal calibration: the calibrated
+/// interface per platform, in table order.
+///
+/// Returns `(label, interface, measured_power_w, observed_tj_c)`.
+pub fn table3_platforms_from(
+    cal: &ThermalCalibration,
+) -> Vec<(&'static str, ThermalInterface, f64, f64)> {
+    cal.platforms
+        .iter()
+        .map(|p| {
+            (
+                ic_scenario::intern(&p.label),
+                ThermalInterface::from_platform(p, cal),
+                p.measured_power_w,
+                p.observed_tj_c,
+            )
+        })
+        .collect()
 }
 
 /// The Table III characterization rows: (platform, cooling, observed
-/// power) with the calibrated interfaces for air and FC-3284 2PIC.
+/// power) with the calibrated interfaces for air (0.22 / 0.21 °C/W) and
+/// FC-3284 2PIC (BEC on a copper plate: 0.12 °C/W; BEC directly on the
+/// CPU IHS: 0.08 °C/W).
 ///
 /// Returns `(label, interface, measured_power_w, paper_observed_tj_c)`.
 pub fn table3_platforms() -> Vec<(&'static str, ThermalInterface, f64, f64)> {
-    let fc = DielectricFluid::fc3284;
-    vec![
-        (
-            "Skylake 8168 / Air",
-            ThermalInterface::air(35.0, 12.0, 0.22),
-            204.4,
-            92.0,
-        ),
-        (
-            // BEC on a copper plate: R_th 0.12 °C/W.
-            "Skylake 8168 / 2PIC FC-3284",
-            ThermalInterface::two_phase(fc(), 0.12, 0.4),
-            204.5,
-            75.0,
-        ),
-        (
-            "Skylake 8180 / Air",
-            ThermalInterface::air(35.0, 12.1, 0.21),
-            204.5,
-            90.0,
-        ),
-        (
-            // BEC directly on the CPU IHS: R_th 0.08 °C/W.
-            "Skylake 8180 / 2PIC FC-3284",
-            ThermalInterface::two_phase(fc(), 0.08, 1.6),
-            204.4,
-            68.0,
-        ),
-    ]
+    table3_platforms_from(&ThermalCalibration::paper())
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 
 use crate::fluid::DielectricFluid;
 use crate::junction::ThermalInterface;
+use ic_scenario::{TankSpec, ThermalCalibration};
 use serde::{Deserialize, Serialize};
 
 /// A 2PIC tank hosting a fixed set of server slots.
@@ -35,41 +36,48 @@ pub struct TankPrototype {
 }
 
 impl TankPrototype {
-    /// Small tank #1: Xeon W-3175X in HFE-7000, 2 server slots.
-    pub fn small_tank_1() -> Self {
+    /// Builds a tank from a scenario specification, resolving its fluid
+    /// against the calibration's fluid list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names a fluid absent from `cal`; a spec from a
+    /// validated [`ic_scenario::Scenario`] never does.
+    pub fn from_spec(spec: &TankSpec, cal: &ThermalCalibration) -> Self {
+        let fluid = cal
+            .fluid(&spec.fluid)
+            .unwrap_or_else(|| panic!("tank {}: unknown fluid '{}'", spec.name, spec.fluid));
         TankPrototype {
-            name: "small tank #1 (Xeon W-3175X)".to_string(),
-            fluid: DielectricFluid::hfe7000(),
-            server_slots: 2,
-            // Generous single-server headroom: the W-3175X alone can pull
-            // >500 W when overclocked.
-            condenser_capacity_w: 4000.0,
-            sealed: true,
+            name: spec.name.clone(),
+            fluid: DielectricFluid::from_spec(fluid),
+            server_slots: spec.server_slots,
+            condenser_capacity_w: spec.condenser_capacity_w,
+            sealed: spec.sealed,
         }
+    }
+
+    fn paper_tank(index: usize) -> Self {
+        let cal = ThermalCalibration::paper();
+        Self::from_spec(&cal.tanks[index], &cal)
+    }
+
+    /// Small tank #1: Xeon W-3175X in HFE-7000, 2 server slots. The
+    /// condenser capacity is generous single-server headroom: the
+    /// W-3175X alone can pull >500 W when overclocked.
+    pub fn small_tank_1() -> Self {
+        Self::paper_tank(0)
     }
 
     /// Small tank #2: i9-9900K + RTX 2080 Ti in FC-3284, 2 server slots.
     pub fn small_tank_2() -> Self {
-        TankPrototype {
-            name: "small tank #2 (i9-9900K + RTX 2080 Ti)".to_string(),
-            fluid: DielectricFluid::fc3284(),
-            server_slots: 2,
-            condenser_capacity_w: 4000.0,
-            sealed: true,
-        }
+        Self::paper_tank(1)
     }
 
-    /// The large tank: 36 Open Compute blades in FC-3284.
+    /// The large tank: 36 Open Compute blades in FC-3284. Its condenser
+    /// handles 36 × 700 W air-equivalent servers plus the paper's
+    /// +200 W/server overclocking headroom (Section IV).
     pub fn large() -> Self {
-        TankPrototype {
-            name: "large tank (36 Open Compute blades)".to_string(),
-            fluid: DielectricFluid::fc3284(),
-            server_slots: 36,
-            // 36 × 700 W air-equivalent servers plus overclocking headroom
-            // (+200 W per server, Section IV).
-            condenser_capacity_w: 36.0 * 900.0,
-            sealed: true,
-        }
+        Self::paper_tank(2)
     }
 
     /// The tank's descriptive name.

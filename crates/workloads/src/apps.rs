@@ -7,6 +7,7 @@
 //! OS, network). The shares are calibrated so the Figure 9 overclocking
 //! bars reproduce — see `perfmodel` for the resulting numbers.
 
+use ic_scenario::{AppSpec, WorkloadCalibration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -26,6 +27,19 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// Parses the scenario-file spelling of a metric (one of
+    /// [`ic_scenario::METRICS`]).
+    pub fn from_key(key: &str) -> Option<Metric> {
+        match key {
+            "p95_latency" => Some(Metric::P95Latency),
+            "p99_latency" => Some(Metric::P99Latency),
+            "seconds" => Some(Metric::Seconds),
+            "ops_per_sec" => Some(Metric::OpsPerSec),
+            "mb_per_sec" => Some(Metric::MbPerSec),
+            _ => None,
+        }
+    }
+
     /// `true` when a smaller metric value is an improvement.
     pub fn lower_is_better(self) -> bool {
         matches!(
@@ -121,178 +135,111 @@ pub struct AppProfile {
 }
 
 impl AppProfile {
+    /// Builds a profile from a scenario's Table IX entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric key is unknown or the bottleneck shares do
+    /// not sum to 1; a spec from a validated [`ic_scenario::Scenario`]
+    /// never does.
+    pub fn from_spec(spec: &AppSpec) -> Self {
+        let metric = Metric::from_key(&spec.metric)
+            .unwrap_or_else(|| panic!("unknown metric key {:?}", spec.metric));
+        AppProfile {
+            name: ic_scenario::intern(&spec.name),
+            cores: spec.cores,
+            origin: if spec.in_house {
+                Origin::InHouse
+            } else {
+                Origin::Public
+            },
+            description: ic_scenario::intern(&spec.description),
+            metric,
+            latency_sensitive: spec.latency_sensitive,
+            bottleneck: Bottleneck::new(
+                spec.core_share,
+                spec.llc_share,
+                spec.memory_share,
+                spec.fixed_share,
+            ),
+            mem_bw_gbps: spec.mem_bw_gbps,
+        }
+    }
+
+    fn paper_app(name: &str) -> Self {
+        Self::from_spec(
+            WorkloadCalibration::paper()
+                .app(name)
+                .expect("paper catalog has the app"),
+        )
+    }
+
     /// BenchCraft standard OLTP — memory-bound SQL, P95 latency.
     pub fn sql() -> Self {
-        AppProfile {
-            name: "SQL",
-            cores: 4,
-            origin: Origin::InHouse,
-            description: "BenchCraft standard OLTP",
-            metric: Metric::P95Latency,
-            latency_sensitive: true,
-            bottleneck: Bottleneck::new(0.60, 0.08, 0.28, 0.04),
-            mem_bw_gbps: 24.0,
-        }
+        Self::paper_app("SQL")
     }
 
     /// TensorFlow CPU model training — compute-bound with an effective
     /// prefetcher, so cache/memory overclocks barely help.
     pub fn training() -> Self {
-        AppProfile {
-            name: "Training",
-            cores: 4,
-            origin: Origin::InHouse,
-            description: "TensorFlow model CPU training",
-            metric: Metric::Seconds,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.85, 0.05, 0.02, 0.08),
-            mem_bw_gbps: 12.0,
-        }
+        Self::paper_app("Training")
     }
 
     /// Distributed key-value store, P99 latency.
     pub fn key_value() -> Self {
-        AppProfile {
-            name: "Key-Value",
-            cores: 8,
-            origin: Origin::InHouse,
-            description: "Distributed key-value store",
-            metric: Metric::P99Latency,
-            latency_sensitive: true,
-            bottleneck: Bottleneck::new(0.65, 0.15, 0.10, 0.10),
-            mem_bw_gbps: 14.0,
-        }
+        Self::paper_app("Key-Value")
     }
 
     /// Business intelligence — only core overclocking helps; anything
     /// else burns power for nothing (the paper's cautionary example).
     pub fn bi() -> Self {
-        AppProfile {
-            name: "BI",
-            cores: 4,
-            origin: Origin::InHouse,
-            description: "Business intelligence",
-            metric: Metric::Seconds,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.75, 0.01, 0.01, 0.23),
-            mem_bw_gbps: 6.0,
-        }
+        Self::paper_app("BI")
     }
 
     /// The M/G/k queueing application driving the auto-scaler study.
     pub fn client_server() -> Self {
-        AppProfile {
-            name: "Client-Server",
-            cores: 4,
-            origin: Origin::InHouse,
-            description: "M/G/k queue application",
-            metric: Metric::P95Latency,
-            latency_sensitive: true,
-            bottleneck: Bottleneck::new(0.80, 0.05, 0.05, 0.10),
-            mem_bw_gbps: 6.0,
-        }
+        Self::paper_app("Client-Server")
     }
 
     /// Pmbench paging microbenchmark — LLC/paging path dominates.
     pub fn pmbench() -> Self {
-        AppProfile {
-            name: "Pmbench",
-            cores: 2,
-            origin: Origin::Public,
-            description: "Paging performance",
-            metric: Metric::Seconds,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.38, 0.42, 0.10, 0.10),
-            mem_bw_gbps: 10.0,
-        }
+        Self::paper_app("Pmbench")
     }
 
     /// Microsoft DiskSpd I/O benchmark — uncore-sensitive, core-light.
     pub fn diskspeed() -> Self {
-        AppProfile {
-            name: "DiskSpeed",
-            cores: 2,
-            origin: Origin::Public,
-            description: "Microsoft's Disk IO bench",
-            metric: Metric::OpsPerSec,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.25, 0.45, 0.20, 0.10),
-            mem_bw_gbps: 8.0,
-        }
+        Self::paper_app("DiskSpeed")
     }
 
     /// SPECjbb 2000 — Java middleware throughput.
     pub fn specjbb() -> Self {
-        AppProfile {
-            name: "SPECJBB",
-            cores: 4,
-            origin: Origin::Public,
-            description: "SpecJbb 2000",
-            metric: Metric::OpsPerSec,
-            latency_sensitive: true,
-            bottleneck: Bottleneck::new(0.70, 0.12, 0.08, 0.10),
-            mem_bw_gbps: 10.0,
-        }
+        Self::paper_app("SPECJBB")
     }
 
     /// Hadoop TeraSort — shuffle-heavy; cache and memory clocks matter
     /// more than the core clock.
     pub fn terasort() -> Self {
-        AppProfile {
-            name: "TeraSort",
-            cores: 4,
-            origin: Origin::Public,
-            description: "Hadoop TeraSort",
-            metric: Metric::Seconds,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.30, 0.25, 0.30, 0.15),
-            mem_bw_gbps: 28.0,
-        }
+        Self::paper_app("TeraSort")
     }
 
     /// VGG CNN training on the GPU — see `gpu` for its dedicated model.
     pub fn vgg() -> Self {
-        AppProfile {
-            name: "VGG",
-            cores: 16,
-            origin: Origin::Public,
-            description: "CNN model GPU training",
-            metric: Metric::Seconds,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.20, 0.05, 0.05, 0.70),
-            mem_bw_gbps: 4.0,
-        }
+        Self::paper_app("VGG")
     }
 
     /// STREAM memory bandwidth — see `stream` for its dedicated model.
     pub fn stream() -> Self {
-        AppProfile {
-            name: "STREAM",
-            cores: 16,
-            origin: Origin::Public,
-            description: "Memory bandwidth",
-            metric: Metric::MbPerSec,
-            latency_sensitive: false,
-            bottleneck: Bottleneck::new(0.05, 0.25, 0.65, 0.05),
-            mem_bw_gbps: 90.0,
-        }
+        Self::paper_app("STREAM")
+    }
+
+    /// The Table IX suite of a workload calibration, in row order.
+    pub fn catalog_from(cal: &WorkloadCalibration) -> Vec<AppProfile> {
+        cal.apps.iter().map(AppProfile::from_spec).collect()
     }
 
     /// The full Table IX suite in row order.
     pub fn catalog() -> Vec<AppProfile> {
-        vec![
-            Self::sql(),
-            Self::training(),
-            Self::key_value(),
-            Self::bi(),
-            Self::client_server(),
-            Self::pmbench(),
-            Self::diskspeed(),
-            Self::specjbb(),
-            Self::terasort(),
-            Self::vgg(),
-            Self::stream(),
-        ]
+        Self::catalog_from(&WorkloadCalibration::paper())
     }
 
     /// The nine CPU applications (everything but VGG and STREAM), i.e.

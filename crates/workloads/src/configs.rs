@@ -7,6 +7,7 @@
 //! (OC1–OC3). Core overclocks carry a +50 mV voltage offset.
 
 use ic_power::units::{Frequency, Voltage};
+use ic_scenario::{CpuConfigSpec, WorkloadCalibration};
 use serde::Serialize;
 use std::fmt;
 
@@ -33,90 +34,70 @@ pub struct CpuConfig {
 }
 
 impl CpuConfig {
+    /// Builds a configuration from a scenario's Table VII entry.
+    pub fn from_spec(spec: &CpuConfigSpec) -> Self {
+        CpuConfig {
+            name: ic_scenario::intern(&spec.name),
+            core: Frequency::from_ghz(spec.core_ghz),
+            voltage_offset_mv: spec.voltage_offset_mv,
+            turbo: spec.turbo,
+            llc: Frequency::from_ghz(spec.llc_ghz),
+            memory: Frequency::from_ghz(spec.memory_ghz),
+        }
+    }
+
+    fn paper_config(name: &str) -> Self {
+        Self::from_spec(
+            WorkloadCalibration::paper()
+                .cpu_config(name)
+                .expect("paper catalog has the config"),
+        )
+    }
+
     /// B1: 3.1 GHz core (turbo off), 2.4 GHz LLC, 2.4 GHz memory.
     pub fn b1() -> Self {
-        CpuConfig {
-            name: "B1",
-            core: Frequency::from_ghz(3.1),
-            voltage_offset_mv: 0,
-            turbo: false,
-            llc: Frequency::from_ghz(2.4),
-            memory: Frequency::from_ghz(2.4),
-        }
+        Self::paper_config("B1")
     }
 
     /// B2: 3.4 GHz all-core turbo — the production baseline the paper
     /// normalizes against.
     pub fn b2() -> Self {
-        CpuConfig {
-            name: "B2",
-            core: Frequency::from_ghz(3.4),
-            voltage_offset_mv: 0,
-            turbo: true,
-            llc: Frequency::from_ghz(2.4),
-            memory: Frequency::from_ghz(2.4),
-        }
+        Self::paper_config("B2")
     }
 
     /// B3: B2 plus uncore/LLC overclocked to 2.8 GHz.
     pub fn b3() -> Self {
-        CpuConfig {
-            llc: Frequency::from_ghz(2.8),
-            name: "B3",
-            ..Self::b2()
-        }
+        Self::paper_config("B3")
     }
 
     /// B4: B3 plus memory overclocked to 3.0 GHz.
     pub fn b4() -> Self {
-        CpuConfig {
-            memory: Frequency::from_ghz(3.0),
-            name: "B4",
-            ..Self::b3()
-        }
+        Self::paper_config("B4")
     }
 
     /// OC1: core overclocked to 4.1 GHz (+50 mV), stock uncore/memory.
     pub fn oc1() -> Self {
-        CpuConfig {
-            name: "OC1",
-            core: Frequency::from_ghz(4.1),
-            voltage_offset_mv: 50,
-            turbo: false, // N/A: fixed overclock supersedes turbo
-            llc: Frequency::from_ghz(2.4),
-            memory: Frequency::from_ghz(2.4),
-        }
+        Self::paper_config("OC1")
     }
 
     /// OC2: OC1 plus 2.8 GHz uncore/LLC.
     pub fn oc2() -> Self {
-        CpuConfig {
-            llc: Frequency::from_ghz(2.8),
-            name: "OC2",
-            ..Self::oc1()
-        }
+        Self::paper_config("OC2")
     }
 
     /// OC3: OC2 plus 3.0 GHz memory — everything overclocked.
     pub fn oc3() -> Self {
-        CpuConfig {
-            memory: Frequency::from_ghz(3.0),
-            name: "OC3",
-            ..Self::oc2()
-        }
+        Self::paper_config("OC3")
+    }
+
+    /// The Table VII rows of a workload calibration, in row order.
+    pub fn catalog_from(cal: &WorkloadCalibration) -> Vec<CpuConfig> {
+        cal.cpu_configs.iter().map(CpuConfig::from_spec).collect()
     }
 
     /// All seven configurations in Table VII row order.
     pub fn catalog() -> Vec<CpuConfig> {
-        vec![
-            Self::b1(),
-            Self::b2(),
-            Self::b3(),
-            Self::b4(),
-            Self::oc1(),
-            Self::oc2(),
-            Self::oc3(),
-        ]
+        Self::catalog_from(&WorkloadCalibration::paper())
     }
 
     /// Looks a configuration up by its Table VII name (case-insensitive).

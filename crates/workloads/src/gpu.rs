@@ -9,6 +9,7 @@
 //! nothing while raising P99 power 9.5 %.
 
 use ic_power::units::Frequency;
+use ic_scenario::{GpuConfigSpec, WorkloadCalibration};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -36,51 +37,54 @@ pub struct GpuConfig {
 }
 
 impl GpuConfig {
+    /// Builds a configuration from a scenario's Table VIII entry.
+    pub fn from_spec(spec: &GpuConfigSpec) -> Self {
+        GpuConfig {
+            name: ic_scenario::intern(&spec.name),
+            power_limit_w_tenths: (spec.power_limit_w * 10.0).round() as u32,
+            base: Frequency::from_ghz(spec.base_ghz),
+            turbo: Frequency::from_ghz(spec.turbo_ghz),
+            memory: Frequency::from_ghz(spec.memory_ghz),
+            voltage_offset_mv: spec.voltage_offset_mv,
+        }
+    }
+
+    fn paper_config(name: &str) -> Self {
+        Self::from_spec(
+            WorkloadCalibration::paper()
+                .gpu_config(name)
+                .expect("paper catalog has the config"),
+        )
+    }
+
     /// Base: 250 W, 1.35/1.950 GHz core, 6.8 GHz memory.
     pub fn base() -> Self {
-        GpuConfig {
-            name: "Base",
-            power_limit_w_tenths: 2500,
-            base: Frequency::from_ghz(1.35),
-            turbo: Frequency::from_ghz(1.950),
-            memory: Frequency::from_ghz(6.8),
-            voltage_offset_mv: 0,
-        }
+        Self::paper_config("Base")
     }
 
     /// OCG1: 250 W, core overclocked to 1.55/2.085 GHz.
     pub fn ocg1() -> Self {
-        GpuConfig {
-            name: "OCG1",
-            base: Frequency::from_ghz(1.55),
-            turbo: Frequency::from_ghz(2.085),
-            ..Self::base()
-        }
+        Self::paper_config("OCG1")
     }
 
     /// OCG2: 300 W, OCG1 plus memory at 8.1 GHz and +100 mV.
     pub fn ocg2() -> Self {
-        GpuConfig {
-            name: "OCG2",
-            power_limit_w_tenths: 3000,
-            memory: Frequency::from_ghz(8.1),
-            voltage_offset_mv: 100,
-            ..Self::ocg1()
-        }
+        Self::paper_config("OCG2")
     }
 
     /// OCG3: 300 W, memory pushed to 8.3 GHz.
     pub fn ocg3() -> Self {
-        GpuConfig {
-            name: "OCG3",
-            memory: Frequency::from_ghz(8.3),
-            ..Self::ocg2()
-        }
+        Self::paper_config("OCG3")
+    }
+
+    /// The Table VIII rows of a workload calibration, in row order.
+    pub fn catalog_from(cal: &WorkloadCalibration) -> Vec<GpuConfig> {
+        cal.gpu_configs.iter().map(GpuConfig::from_spec).collect()
     }
 
     /// All four configurations in Table VIII row order.
     pub fn catalog() -> Vec<GpuConfig> {
-        vec![Self::base(), Self::ocg1(), Self::ocg2(), Self::ocg3()]
+        Self::catalog_from(&WorkloadCalibration::paper())
     }
 
     /// The Table VIII row label.

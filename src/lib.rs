@@ -6,6 +6,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`scenario`] | `ic-scenario` | Serializable calibration scenarios (`Scenario::paper()`, JSON codec) |
 //! | [`sim`] | `ic-sim` | Discrete-event engine, RNG, distributions, statistics |
 //! | [`thermal`] | `ic-thermal` | Cooling technologies, fluids, junction model, tanks |
 //! | [`power`] | `ic-power` | V/f curves, leakage, socket/server power, capping |
@@ -38,6 +39,7 @@ pub use ic_core as core;
 pub use ic_obs as obs;
 pub use ic_power as power;
 pub use ic_reliability as reliability;
+pub use ic_scenario as scenario;
 pub use ic_sim as sim;
 pub use ic_tco as tco;
 pub use ic_telemetry as telemetry;

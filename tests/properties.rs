@@ -493,6 +493,71 @@ fn registry_quantiles_bounded() {
     });
 }
 
+/// Scenario JSON round-trips losslessly: serialize → parse recovers
+/// every field, even after random f64 perturbations (the writer emits
+/// shortest-round-trip literals).
+#[test]
+fn scenario_roundtrip_preserves_every_field() {
+    use immersion_cloud::scenario::Scenario;
+    check("scenario_roundtrip_preserves_every_field", |rng| {
+        let mut s = Scenario::paper();
+        // Perturb a sampling of fields across the calibration surface so
+        // the round-trip is tested on arbitrary doubles, not just the
+        // paper's tidy literals.
+        let p = rng.index(s.thermal.platforms.len());
+        s.thermal.platforms[p].r_th_c_per_w *= rng.uniform_range(0.5, 2.0);
+        let f = rng.index(s.thermal.fluids.len());
+        s.thermal.fluids[f].boiling_point_c += rng.uniform_range(-10.0, 10.0);
+        s.power.vf.nominal_v = rng.uniform_range(0.7, s.power.vf.oc_v);
+        let r = rng.index(s.reliability.table5.len());
+        s.reliability.table5[r].voltage_v += rng.uniform_range(-0.2, 0.2);
+        let a = rng.index(s.workloads.apps.len());
+        s.workloads.apps[a].mem_bw_gbps = rng.uniform_range(0.0, 100.0);
+        s.name = format!("perturbed-{}", rng.index(1_000_000));
+
+        let parsed = Scenario::from_json(&s.to_json()).expect("round-trip parses");
+        assert_eq!(parsed, s, "round-trip dropped or altered a field");
+    });
+}
+
+/// Calibration is live, not decorative: perturbing a platform's thermal
+/// resistance moves its Table III junction temperature, and perturbing a
+/// Table V fit point's voltage moves its modeled lifetime.
+#[test]
+fn scenario_perturbation_changes_outputs() {
+    use immersion_cloud::reliability::lifetime::table5_rows_from;
+    use immersion_cloud::scenario::Scenario;
+    use immersion_cloud::thermal::junction::table3_platforms_from;
+    check("scenario_perturbation_changes_outputs", |rng| {
+        let base = Scenario::paper();
+        let mut s = base.clone();
+
+        let p = rng.index(s.thermal.platforms.len());
+        s.thermal.platforms[p].r_th_c_per_w *= rng.uniform_range(1.1, 2.0);
+        let power = base.thermal.platforms[p].measured_power_w;
+        let tj_base = table3_platforms_from(&base.thermal)[p]
+            .1
+            .junction_temp_c(power);
+        let tj_pert = table3_platforms_from(&s.thermal)[p]
+            .1
+            .junction_temp_c(power);
+        assert!(
+            tj_pert > tj_base,
+            "higher R_th must raise Tj ({tj_pert} vs {tj_base})"
+        );
+
+        let r = rng.index(s.reliability.table5.len());
+        s.reliability.table5[r].voltage_v += rng.uniform_range(0.05, 0.2);
+        let model = CompositeLifetimeModel::from_calibration(&base.reliability);
+        let life_base = model.lifetime_years(&table5_rows_from(&base.reliability)[r].conditions);
+        let life_pert = model.lifetime_years(&table5_rows_from(&s.reliability)[r].conditions);
+        assert!(
+            life_pert < life_base,
+            "higher voltage must shorten lifetime ({life_pert} vs {life_base})"
+        );
+    });
+}
+
 /// Socket steady-state power is monotone in frequency and voltage.
 #[test]
 fn socket_power_monotone() {

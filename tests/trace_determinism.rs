@@ -4,8 +4,9 @@
 //! Trace events are keyed by simulation time plus a recorder-assigned
 //! sequence number — never wall-clock — so the JSONL and CSV encodings
 //! of a seeded run are reproducible down to the byte. Wall-clock only
-//! ever appears in metric histograms (`EventRecord::wall_seconds`),
-//! which these tests deliberately avoid asserting on.
+//! ever appears in metric histograms (`ic-obs`'s `EngineMetrics` times
+//! handlers itself via `EngineObserver::on_event_start`), which these
+//! tests deliberately avoid asserting on.
 
 use immersion_cloud::autoscale::policy::Policy;
 use immersion_cloud::autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
