@@ -8,30 +8,75 @@
 //! `cargo bench -p ic-bench`; each line reports the best per-iteration
 //! time over several batches, which is stable enough to catch order-of-
 //! magnitude regressions in CI logs.
+//!
+//! # Perf trajectory (`--json`)
+//!
+//! `cargo bench -p ic-bench --bench kernels -- --json [--quick]` prints a
+//! single machine-readable JSON object to stdout — the format checked in
+//! as `BENCH_sim.json` at the repo root and compared by the CI
+//! `bench-smoke` job. It reports raw-engine and M/G/k events/sec, the
+//! steady-state allocations per event (counted by this binary's global
+//! allocator — expected to be exactly 0 on the inline event path), the
+//! boxed-event count, and the end-to-end wall time of the `table11`
+//! experiment from the registry. Floats are encoded with
+//! [`ic_obs::json::write_f64`] so equal measurements encode identically.
 
 use ic_autoscale::asc::AutoScaler;
 use ic_autoscale::policy::{AscConfig, Policy};
+use ic_bench::registry::{run_one, Mode};
 use ic_cluster::cluster::Cluster;
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
 use ic_cluster::server::ServerSpec;
 use ic_cluster::vm::VmSpec;
 use ic_core::governor::{GovernorConfig, OverclockGovernor};
+use ic_obs::json::{write_escaped, write_f64};
 use ic_power::cpu::CpuSku;
 use ic_power::units::Frequency;
 use ic_reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
 use ic_reliability::stability::StabilityModel;
+use ic_scenario::Scenario;
 use ic_sim::engine::Engine;
 use ic_sim::time::{SimDuration, SimTime};
 use ic_thermal::fluid::DielectricFluid;
 use ic_thermal::junction::ThermalInterface;
 use ic_workloads::mgk::ClientServerSim;
 use ic_workloads::queueing::MgkQueue;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Runs `f` in `batches` batches of `iters` iterations and prints the
-/// best mean per-iteration time (the least-perturbed batch).
-fn bench<T>(name: &str, batches: u32, iters: u32, mut f: impl FnMut() -> T) {
+/// Counts every heap allocation made by this binary. Lives only in the
+/// bench target — the library crates never pay for the counter — and
+/// backs the allocations-per-event measurement in the JSON report.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` in `batches` batches of `iters` iterations and returns the
+/// best mean per-iteration time in seconds (the least-perturbed batch).
+fn best_of<T>(batches: u32, iters: u32, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..batches {
         let start = Instant::now();
@@ -41,6 +86,11 @@ fn bench<T>(name: &str, batches: u32, iters: u32, mut f: impl FnMut() -> T) {
         let per_iter = start.elapsed().as_secs_f64() / iters as f64;
         best = best.min(per_iter);
     }
+    best
+}
+
+/// Prints one human-readable result line.
+fn report(name: &str, best: f64) {
     let (value, unit) = if best >= 1e-3 {
         (best * 1e3, "ms")
     } else if best >= 1e-6 {
@@ -51,28 +101,73 @@ fn bench<T>(name: &str, batches: u32, iters: u32, mut f: impl FnMut() -> T) {
     println!("{name:<28} {value:>10.3} {unit}/iter");
 }
 
-fn bench_engine() {
-    bench("engine_100k_events", 5, 3, || {
+const ENGINE_EVENTS: u64 = 100_000;
+
+/// The raw-engine microbench: build a fresh engine, bulk-schedule 100k
+/// trivial events, drain. Returns best seconds per iteration.
+fn engine_iter_secs(batches: u32) -> f64 {
+    best_of(batches, 3, || {
         let mut engine: Engine<u64> = Engine::new();
-        for i in 0..100_000u64 {
+        for i in 0..ENGINE_EVENTS {
             engine.schedule(SimTime::from_nanos(i * 13 % 1_000_000), |s, _| *s += 1);
         }
         let mut count = 0u64;
         engine.run(&mut count);
         count
-    });
+    })
 }
 
-fn bench_mgk_sim() {
-    bench("mgk_sim_10s_at_2000qps", 5, 3, || {
+/// Steady-state engine throughput and allocation rate: one long-lived
+/// engine pumps repeated 100k-event waves, so every queue buffer is warm.
+/// Returns `(events_per_sec, allocations_per_event)`; the latter is
+/// expected to be exactly 0 — every closure here fits the inline event
+/// cell and the calendar queue reuses its buffers between epochs.
+fn engine_steady_state(waves: u32) -> (f64, f64) {
+    let mut engine: Engine<u64> = Engine::new();
+    let mut count = 0u64;
+    let wave = |engine: &mut Engine<u64>, count: &mut u64| {
+        let base = engine.now() + SimDuration::from_nanos(1);
+        for i in 0..ENGINE_EVENTS {
+            engine.schedule(
+                base + SimDuration::from_nanos(i * 13 % 1_000_000),
+                |s, _| *s += 1,
+            );
+        }
+        engine.run(count);
+    };
+    for _ in 0..3 {
+        wave(&mut engine, &mut count);
+    }
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..waves {
+        wave(&mut engine, &mut count);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    black_box(count);
+    let events = (waves as u64 * ENGINE_EVENTS) as f64;
+    (events / elapsed, allocs as f64 / events)
+}
+
+/// The M/G/k end-to-end bench. Returns `(best_secs, engine_events,
+/// boxed_events)` for one simulated run of `sim_secs` at 2000 QPS on
+/// 4 VMs.
+fn mgk_measure(batches: u32, sim_secs: u64) -> (f64, u64, u64) {
+    let mut events = 0u64;
+    let mut boxed = 0u64;
+    let best = best_of(batches, 3, || {
         let mut sim = ClientServerSim::new(1, 0.0028, 2.0, 4, 0.1);
         for _ in 0..4 {
             sim.add_vm();
         }
         sim.set_qps(2000.0);
-        sim.advance_to(SimTime::from_secs(10));
+        sim.advance_to(SimTime::from_secs(sim_secs));
+        events = sim.events_processed();
+        boxed = sim.boxed_events();
         sim.completed_requests()
     });
+    (best, events, boxed)
 }
 
 fn bench_autoscaler_step() {
@@ -83,25 +178,31 @@ fn bench_autoscaler_step() {
     sim.set_qps(1500.0);
     let mut asc = AutoScaler::new(AscConfig::paper(), Policy::OcA);
     let mut t = SimTime::ZERO;
-    bench("autoscaler_control_step", 5, 200, || {
-        t += SimDuration::from_secs(3);
-        sim.advance_to(t);
-        asc.step(&mut sim)
-    });
+    report(
+        "autoscaler_control_step",
+        best_of(5, 200, || {
+            t += SimDuration::from_secs(3);
+            sim.advance_to(t);
+            asc.step(&mut sim)
+        }),
+    );
 }
 
 fn bench_placement() {
-    bench("best_fit_place_200_vms", 5, 20, || {
-        let mut cluster = Cluster::new(
-            vec![ServerSpec::open_compute(); 50],
-            PlacementPolicy::BestFit,
-            Oversubscription::ratio(1.2),
-        );
-        for _ in 0..200 {
-            let _ = cluster.create_vm(VmSpec::new(4, 16.0));
-        }
-        cluster.vm_count()
-    });
+    report(
+        "best_fit_place_200_vms",
+        best_of(5, 20, || {
+            let mut cluster = Cluster::new(
+                vec![ServerSpec::open_compute(); 50],
+                PlacementPolicy::BestFit,
+                Oversubscription::ratio(1.2),
+            );
+            for _ in 0..200 {
+                let _ = cluster.create_vm(VmSpec::new(4, 16.0));
+            }
+            cluster.vm_count()
+        }),
+    );
 }
 
 fn bench_governor() {
@@ -112,24 +213,87 @@ fn bench_governor() {
         StabilityModel::paper_characterization(),
         GovernorConfig::default(),
     );
-    bench("governor_decide", 5, 500, || {
-        governor.decide(Frequency::from_ghz(3.3), 305.0)
-    });
+    report(
+        "governor_decide",
+        best_of(5, 500, || governor.decide(Frequency::from_ghz(3.3), 305.0)),
+    );
 }
 
 fn bench_models() {
     let model = CompositeLifetimeModel::fitted_5nm();
     let cond = OperatingConditions::new(0.98, 74.0, 50.0);
-    bench("lifetime_eval", 5, 10_000, || model.lifetime_years(&cond));
-    bench("mgk_p95_quantile", 5, 2_000, || {
-        MgkQueue::new(16, 1230.0, 0.01, 1.5).sojourn_quantile(0.95)
-    });
+    report(
+        "lifetime_eval",
+        best_of(5, 10_000, || model.lifetime_years(&cond)),
+    );
+    report(
+        "mgk_p95_quantile",
+        best_of(5, 2_000, || {
+            MgkQueue::new(16, 1230.0, 0.01, 1.5).sojourn_quantile(0.95)
+        }),
+    );
+}
+
+/// Collects the perf-trajectory metrics (the `BENCH_sim.json` payload).
+fn trajectory(quick: bool) -> Vec<(&'static str, f64)> {
+    let batches = if quick { 3 } else { 5 };
+    let engine_best = engine_iter_secs(batches);
+    let (steady_eps, allocs_per_event) = engine_steady_state(if quick { 5 } else { 15 });
+    let (mgk_best, mgk_events, mgk_boxed) = mgk_measure(batches, if quick { 3 } else { 10 });
+    let mode = if quick { Mode::Quick } else { Mode::Full };
+    let table11 = run_one("table11", &Scenario::paper(), mode).expect("table11 is registered");
+    vec![
+        ("engine_events_per_sec", ENGINE_EVENTS as f64 / engine_best),
+        ("engine_ms_per_100k_events", engine_best * 1e3),
+        ("engine_steady_events_per_sec", steady_eps),
+        ("engine_steady_allocs_per_event", allocs_per_event),
+        ("mgk_events_per_sec", mgk_events as f64 / mgk_best),
+        ("mgk_boxed_events", mgk_boxed as f64),
+        ("table11_wall_ms", table11.wall_ms),
+    ]
+}
+
+/// Encodes the trajectory metrics as one deterministic-layout JSON
+/// object (only the measurements themselves vary run to run).
+fn trajectory_json(quick: bool, metrics: &[(&'static str, f64)]) -> String {
+    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v1\",\"mode\":");
+    write_escaped(if quick { "quick" } else { "full" }, &mut out);
+    for (key, value) in metrics {
+        out.push(',');
+        write_escaped(key, &mut out);
+        out.push(':');
+        write_f64(*value, &mut out);
+    }
+    out.push('}');
+    out
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let quick = args.iter().any(|a| a == "--quick");
+
+    if json {
+        // JSON mode prints nothing but the object, so the output can be
+        // redirected straight into BENCH_sim.json.
+        let metrics = trajectory(quick);
+        println!("{}", trajectory_json(quick, &metrics));
+        return;
+    }
+
     println!("kernel microbenchmarks (best of 5 batches)\n");
-    bench_engine();
-    bench_mgk_sim();
+    report("engine_100k_events", engine_iter_secs(5));
+    let (steady_eps, allocs_per_event) = engine_steady_state(15);
+    println!(
+        "engine_steady_state          {:>10.3} Mev/s  ({allocs_per_event} allocs/event)",
+        steady_eps / 1e6
+    );
+    let (mgk_best, mgk_events, mgk_boxed) = mgk_measure(5, 10);
+    report("mgk_sim_10s_at_2000qps", mgk_best);
+    println!(
+        "mgk_throughput               {:>10.3} Mev/s  ({mgk_boxed} boxed of {mgk_events} events)",
+        mgk_events as f64 / mgk_best / 1e6
+    );
     bench_autoscaler_step();
     bench_placement();
     bench_governor();

@@ -347,6 +347,21 @@ pub fn render_selected(
     Ok(outputs.join("\n"))
 }
 
+/// Runs a single experiment by id and returns its record — the hook the
+/// perf-trajectory bench (`benches/kernels.rs`) uses to time one
+/// experiment end-to-end (`wall_ms`) without going through the CLI.
+pub fn run_one(
+    id: &str,
+    scenario: &Scenario,
+    mode: Mode,
+) -> Result<ExperimentRecord, UnknownExperiment> {
+    let exp = REGISTRY
+        .iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| UnknownExperiment { id: id.to_string() })?;
+    Ok(exp.run(scenario, mode))
+}
+
 /// Runs the selected experiments (all of them for `only: None`) and
 /// returns their records in registration order, fanning out across
 /// `jobs` threads.
@@ -401,6 +416,15 @@ mod tests {
             assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>(), "{jobs}");
         }
         assert!(fan_out(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_one_times_a_single_experiment() {
+        let s = Scenario::paper();
+        let rec = run_one("table3", &s, Mode::Quick).unwrap();
+        assert_eq!(rec.id, "table3");
+        assert!(rec.wall_ms >= 0.0);
+        assert_eq!(run_one("nope", &s, Mode::Quick).unwrap_err().id, "nope");
     }
 
     #[test]

@@ -1,54 +1,26 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Engine<S>`] holds a priority queue of timestamped events over a
-//! user-supplied state type `S`. Events are boxed `FnOnce(&mut S, &mut
-//! Engine<S>)` closures, so handlers can freely schedule follow-up events.
-//! Ties at the same instant are broken by insertion order, which keeps runs
-//! deterministic — a requirement for the paper's policy comparisons, where
-//! the baseline and the overclocking auto-scalers must see identical
-//! arrival sequences.
+//! [`Engine<S>`] holds a deterministic two-tier calendar queue (see
+//! [`crate::calendar`]) of timestamped events over a user-supplied state
+//! type `S`. Handlers are `FnOnce(&mut S, &mut Engine<S>)` closures stored
+//! *inline* in the queue node when their captures fit in
+//! [`crate::event::INLINE_EVENT_WORDS`] machine words — the common path
+//! (reschedule ticks, arrivals, control steps) touches the heap zero
+//! times per event; larger captures fall back to a recycled heap cell.
+//! Ties at the same instant are broken by insertion order, which keeps
+//! runs deterministic — a requirement for the paper's policy comparisons,
+//! where the baseline and the overclocking auto-scalers must see
+//! identical arrival sequences.
 
+use crate::calendar::{CalendarQueue, Entry};
+use crate::event::{BoxPool, EventCell};
 use crate::observe::{EngineObserver, EventRecord};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::alloc::Layout;
 use std::fmt;
-
-/// An event handler: runs against the simulation state and may schedule
-/// further events through the engine.
-pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Engine<S>)>;
 
 /// The label given to events scheduled without an explicit kind.
 pub const UNLABELED_EVENT: &str = "event";
-
-struct Scheduled<S> {
-    at: SimTime,
-    seq: u64,
-    kind: &'static str,
-    run: EventFn<S>,
-}
-
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<S> Ord for Scheduled<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event (and, on a
-        // tie, the earliest-scheduled one) is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A deterministic discrete-event simulator over state `S`.
 ///
@@ -74,23 +46,27 @@ impl<S> Ord for Scheduled<S> {
 /// assert_eq!(state.beats, 3);
 /// assert_eq!(engine.now(), SimTime::from_secs(2));
 /// ```
-pub struct Engine<S> {
+pub struct Engine<S: 'static> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<S>>,
+    queue: CalendarQueue<S>,
     seq: u64,
     processed: u64,
+    boxed_scheduled: u64,
+    pool: BoxPool,
     observer: Option<Box<dyn EngineObserver>>,
 }
 
-impl<S> Engine<S> {
+impl<S: 'static> Engine<S> {
     /// Creates an engine with the clock at [`SimTime::ZERO`] and no pending
     /// events.
     pub fn new() -> Self {
         Engine {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             processed: 0,
+            boxed_scheduled: 0,
+            pool: BoxPool::new(),
             observer: None,
         }
     }
@@ -124,6 +100,15 @@ impl<S> Engine<S> {
         self.queue.len()
     }
 
+    /// How many scheduled events took the boxed (heap) fallback because
+    /// their captures exceeded [`crate::event::INLINE_EVENT_WORDS`]
+    /// machine words. Zero means every event so far rode the
+    /// allocation-free inline path — the property the workload crates'
+    /// hot paths are tested against.
+    pub fn boxed_events_scheduled(&self) -> u64 {
+        self.boxed_scheduled
+    }
+
     /// Schedules `event` at absolute time `at`.
     ///
     /// # Panics
@@ -155,11 +140,13 @@ impl<S> Engine<S> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
+        let (cell, boxed) = EventCell::new(event, &mut self.pool);
+        self.boxed_scheduled += boxed as u64;
+        self.queue.push(Entry {
             at,
             seq,
             kind,
-            run: Box::new(event),
+            cell,
         });
     }
 
@@ -189,18 +176,18 @@ impl<S> Engine<S> {
     /// Runs events with timestamps `<= deadline`, advancing the clock to
     /// each event's timestamp and finally to `deadline` (if later than the
     /// last event). Returns the number of events executed by this call.
+    ///
+    /// The deadline check and the dequeue are a single queue operation
+    /// per event ([`CalendarQueue::pop_at_most`]) — there is no separate
+    /// peek-then-pop.
     pub fn run_until(&mut self, state: &mut S, deadline: SimTime) -> u64 {
         let mut executed = 0;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let ev = self.queue.pop().expect("peeked event vanished");
+        while let Some(ev) = self.queue.pop_at_most(deadline) {
             debug_assert!(ev.at >= self.now, "event queue went backwards");
             self.now = ev.at;
             let kind = ev.kind;
             let observed = self.notify_event_start();
-            (ev.run)(state, self);
+            ev.cell.invoke(state, self);
             self.processed += 1;
             executed += 1;
             self.notify_observer(kind, observed);
@@ -214,11 +201,12 @@ impl<S> Engine<S> {
     /// Executes exactly one event, if any is pending. Returns the timestamp
     /// of the executed event.
     pub fn step(&mut self, state: &mut S) -> Option<SimTime> {
-        let ev = self.queue.pop()?;
+        let ev = self.queue.pop_at_most(SimTime::MAX)?;
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
         let kind = ev.kind;
         let observed = self.notify_event_start();
-        (ev.run)(state, self);
+        ev.cell.invoke(state, self);
         self.processed += 1;
         self.notify_observer(kind, observed);
         Some(self.now)
@@ -256,22 +244,34 @@ impl<S> Engine<S> {
 
     /// The timestamp of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.at)
+        self.queue.peek_time()
     }
 
     /// Discards all pending events without running them.
     pub fn clear(&mut self) {
         self.queue.clear();
     }
+
+    /// Returns a retired boxed-event cell to the free-list (called from
+    /// the boxed invoke shim just before the handler runs).
+    pub(crate) fn recycle_event_box(&mut self, ptr: *mut u8, layout: Layout) {
+        self.pool.recycle(ptr, layout);
+    }
+
+    /// Number of pooled boxed-event cells (test observability).
+    #[cfg(test)]
+    pub(crate) fn debug_pooled_event_boxes(&self) -> usize {
+        self.pool.pooled()
+    }
 }
 
-impl<S> Default for Engine<S> {
+impl<S: 'static> Default for Engine<S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S> fmt::Debug for Engine<S> {
+impl<S: 'static> fmt::Debug for Engine<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
@@ -427,5 +427,56 @@ mod tests {
         assert_eq!(engine.next_event_time(), None);
         engine.schedule(SimTime::from_secs(7), |_, _| {});
         assert_eq!(engine.next_event_time(), Some(SimTime::from_secs(7)));
+    }
+
+    #[test]
+    fn small_captures_never_box() {
+        let mut engine: Engine<u64> = Engine::new();
+        let a = 1u64;
+        let b = 2u64;
+        let c = 3u64;
+        for i in 0..100u64 {
+            engine.schedule(SimTime::from_nanos(i), move |s, _| *s += a + b + c);
+        }
+        let mut state = 0;
+        engine.run(&mut state);
+        assert_eq!(state, 600);
+        assert_eq!(engine.boxed_events_scheduled(), 0);
+    }
+
+    #[test]
+    fn large_captures_box_and_still_run() {
+        let mut engine: Engine<u64> = Engine::new();
+        let payload = [2u64; 6];
+        engine.schedule(SimTime::ZERO, move |s, _| *s += payload.iter().sum::<u64>());
+        let mut state = 0;
+        engine.run(&mut state);
+        assert_eq!(state, 12);
+        assert_eq!(engine.boxed_events_scheduled(), 1);
+    }
+
+    #[test]
+    fn dropped_engine_releases_unrun_closures() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let alive = Rc::new(Cell::new(0u32));
+        struct Guard(Rc<Cell<u32>>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        {
+            let mut engine: Engine<u32> = Engine::new();
+            let g1 = Guard(Rc::clone(&alive));
+            let g2 = Guard(Rc::clone(&alive));
+            let pad = [0u64; 8];
+            engine.schedule(SimTime::from_secs(1), move |_, _| drop(g1));
+            engine.schedule(SimTime::from_secs(2), move |_, _| {
+                drop(g2);
+                let _ = pad;
+            });
+        }
+        assert_eq!(alive.get(), 2, "engine drop released both closures");
     }
 }

@@ -27,8 +27,10 @@
 //! assert_eq!(count, 6); // t = 0..=5 inclusive
 //! ```
 
+mod calendar;
 pub mod dist;
 pub mod engine;
+pub mod event;
 pub mod hist;
 pub mod observe;
 pub mod rng;

@@ -16,6 +16,15 @@ use serde::{Deserialize, Serialize};
 /// Stores all samples; suitable for simulation-scale data (millions of
 /// points). Percentiles use the nearest-rank method on the sorted data.
 ///
+/// Queries never re-sort from scratch: the tally keeps a sorted prefix
+/// (`samples[..sorted_len]`) and an unsorted tail of recent records. A
+/// query merges a small tail into the prefix in O(n) through a reusable
+/// scratch buffer, and answers a large unsorted residue with quickselect
+/// (`select_nth_unstable`), promoting to a full sort only when repeated
+/// selections would cost more than sorting once. Monotone-ascending
+/// record streams (cumulative counters, sim-time series) keep the prefix
+/// sorted for free.
+///
 /// # Example
 ///
 /// ```
@@ -31,9 +40,20 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Tally {
     samples: Vec<f64>,
-    sorted: bool,
+    /// `samples[..sorted_len]` is sorted ascending; everything after is
+    /// the unsorted tail recorded since the last merge.
+    sorted_len: usize,
     sum: f64,
+    /// Quickselect queries answered since the last merge; after a few,
+    /// one full sort is cheaper than more O(n) selections.
+    selects_since_merge: u32,
+    /// Reusable merge buffer (kept empty between queries).
+    scratch: Vec<f64>,
 }
+
+/// How many quickselect answers are tolerated before promoting the whole
+/// sample set to fully sorted.
+const TALLY_SELECT_PROMOTE: u32 = 3;
 
 impl Tally {
     /// Creates an empty tally.
@@ -48,8 +68,17 @@ impl Tally {
     /// Panics if `value` is not finite.
     pub fn record(&mut self, value: f64) {
         assert!(value.is_finite(), "cannot tally non-finite value {value}");
+        // An in-order append extends the sorted prefix instead of
+        // starting a tail.
+        if self.sorted_len == self.samples.len()
+            && self
+                .samples
+                .last()
+                .is_none_or(|last| last.total_cmp(&value) != std::cmp::Ordering::Greater)
+        {
+            self.sorted_len += 1;
+        }
         self.samples.push(value);
-        self.sorted = false;
         self.sum += value;
     }
 
@@ -81,24 +110,66 @@ impl Tally {
             .max(0.0)
     }
 
-    /// The `q`-quantile (e.g. `0.95` for P95) by nearest rank, or 0 if
-    /// empty.
+    /// The `q`-quantile (e.g. `0.95` for P95) by nearest rank.
     ///
     /// # Panics
     ///
-    /// Panics if `q` is outside `[0, 1]`.
+    /// Panics if `q` is outside `[0, 1]`, or if the tally is empty — a
+    /// percentile of nothing is a logic error, not a zero.
     pub fn percentile(&mut self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
-        if self.samples.is_empty() {
-            return 0.0;
+        assert!(
+            !self.samples.is_empty(),
+            "percentile query on an empty Tally — record at least one sample first"
+        );
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).max(1) - 1;
+        let rank = rank.min(n - 1);
+        let tail = n - self.sorted_len;
+        if tail == 0 {
+            return self.samples[rank];
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-            self.sorted = true;
+        if tail <= n / 8 + 16 || self.selects_since_merge >= TALLY_SELECT_PROMOTE {
+            self.merge_tail();
+            self.samples[rank]
+        } else {
+            self.selects_since_merge += 1;
+            let (_, v, _) = self.samples.select_nth_unstable_by(rank, f64::total_cmp);
+            let v = *v;
+            // Selection partitions the whole buffer; the prefix order is
+            // gone.
+            self.sorted_len = 0;
+            v
         }
-        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
-        self.samples[rank.min(self.samples.len() - 1)]
+    }
+
+    /// Sorts the unsorted tail and merges it into the sorted prefix
+    /// through the scratch buffer; afterwards the whole sample set is
+    /// sorted.
+    fn merge_tail(&mut self) {
+        let n = self.samples.len();
+        self.samples[self.sorted_len..].sort_unstable_by(f64::total_cmp);
+        if self.sorted_len > 0 && self.sorted_len < n {
+            self.scratch.clear();
+            self.scratch.reserve(n);
+            let (a, b) = self.samples.split_at(self.sorted_len);
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if b[j].total_cmp(&a[i]) == std::cmp::Ordering::Less {
+                    self.scratch.push(b[j]);
+                    j += 1;
+                } else {
+                    self.scratch.push(a[i]);
+                    i += 1;
+                }
+            }
+            self.scratch.extend_from_slice(&a[i..]);
+            self.scratch.extend_from_slice(&b[j..]);
+            std::mem::swap(&mut self.samples, &mut self.scratch);
+            self.scratch.clear();
+        }
+        self.sorted_len = n;
+        self.selects_since_merge = 0;
     }
 
     /// Immutable view of the raw samples (unsorted order is unspecified).
@@ -110,7 +181,8 @@ impl Tally {
     pub fn clear(&mut self) {
         self.samples.clear();
         self.sum = 0.0;
-        self.sorted = false;
+        self.sorted_len = 0;
+        self.selects_since_merge = 0;
     }
 }
 
@@ -364,16 +436,21 @@ impl SlidingWindow {
         }
         let n = self.samples.len() as f64;
         let t0 = self.samples.front().expect("non-empty").0;
-        let xs: Vec<f64> = self
-            .samples
-            .iter()
-            .map(|&(t, _)| (t - t0).as_secs_f64())
-            .collect();
-        let mean_x = xs.iter().sum::<f64>() / n;
-        let mean_y = self.samples.iter().map(|&(_, v)| v).sum::<f64>() / n;
+        // Two passes, no intermediate buffer: recomputing x from the
+        // timestamps is cheaper than allocating per query on the
+        // auto-scaler's control path.
+        let mut sum_x = 0.0;
+        let mut sum_y = 0.0;
+        for &(t, v) in &self.samples {
+            sum_x += (t - t0).as_secs_f64();
+            sum_y += v;
+        }
+        let mean_x = sum_x / n;
+        let mean_y = sum_y / n;
         let mut sxx = 0.0;
         let mut sxy = 0.0;
-        for (x, &(_, y)) in xs.iter().zip(self.samples.iter()) {
+        for &(t, y) in &self.samples {
+            let x = (t - t0).as_secs_f64();
             sxx += (x - mean_x).powi(2);
             sxy += (x - mean_x) * (y - mean_y);
         }
@@ -413,10 +490,16 @@ mod tests {
 
     #[test]
     fn tally_empty_behaviour() {
-        let mut t = Tally::new();
+        let t = Tally::new();
         assert!(t.is_empty());
         assert_eq!(t.mean(), 0.0);
-        assert_eq!(t.percentile(0.95), 0.0);
+        assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Tally")]
+    fn tally_percentile_on_empty_panics() {
+        Tally::new().percentile(0.95);
     }
 
     #[test]
@@ -434,6 +517,42 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn tally_rejects_nan() {
         Tally::new().record(f64::NAN);
+    }
+
+    /// Property test: under random interleavings of records and queries,
+    /// every percentile answer (whether served by the sorted prefix, a
+    /// tail merge, or quickselect) equals the nearest-rank value of a
+    /// freshly sorted copy of the same samples.
+    #[test]
+    fn tally_percentiles_match_sorted_reference() {
+        use crate::rng::SimRng;
+        for seed in 0..20u64 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let mut t = Tally::new();
+            let mut reference: Vec<f64> = Vec::new();
+            for _ in 0..200 {
+                let burst = 1 + rng.next_u64() % 24;
+                for _ in 0..burst {
+                    // Mix of random, duplicate, and monotone values so
+                    // both the sorted-append and unsorted-tail paths run.
+                    let v = match rng.next_u64() % 4 {
+                        0 => (rng.next_u64() % 1000) as f64,
+                        1 => 500.0,
+                        _ => reference.len() as f64,
+                    };
+                    t.record(v);
+                    reference.push(v);
+                }
+                let q = (rng.next_u64() % 101) as f64 / 100.0;
+                let got = t.percentile(q);
+                let mut sorted = reference.clone();
+                sorted.sort_by(f64::total_cmp);
+                let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+                let want = sorted[rank.min(sorted.len() - 1)];
+                assert_eq!(got, want, "seed {seed} q {q} n {}", sorted.len());
+                assert_eq!(t.len(), reference.len());
+            }
+        }
     }
 
     #[test]
