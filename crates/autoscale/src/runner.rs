@@ -20,16 +20,28 @@ pub type Schedule = Vec<(f64, f64)>;
 
 /// The paper's full-experiment ramp: 500 → `max` QPS in steps of `step`
 /// every `dwell_s` seconds.
+///
+/// Both coordinates are computed from the step index (`i·dwell_s`,
+/// `start + i·step`) rather than accumulated, so long ramps with
+/// non-representable steps (0.1 QPS, say) stay exactly on the grid
+/// instead of drifting by the summed rounding error.
+///
+/// # Panics
+///
+/// Panics if `step` or `dwell_s` is non-positive or non-finite.
 pub fn ramp_schedule(start: f64, max: f64, step: f64, dwell_s: f64) -> Schedule {
-    let mut schedule = Vec::new();
-    let mut qps = start;
-    let mut t = 0.0;
-    while qps <= max + 1e-9 {
-        schedule.push((t, qps));
-        t += dwell_s;
-        qps += step;
+    assert!(step > 0.0 && step.is_finite(), "invalid ramp step {step}");
+    assert!(
+        dwell_s > 0.0 && dwell_s.is_finite(),
+        "invalid dwell {dwell_s}"
+    );
+    if start > max + 1e-9 {
+        return Vec::new();
     }
-    schedule
+    let steps = ((max - start) / step + 1e-9).floor() as usize;
+    (0..=steps)
+        .map(|i| (i as f64 * dwell_s, start + i as f64 * step))
+        .collect()
 }
 
 /// The Figure 15 validation schedule: 1000, 2000, 500, 3000, 1000 QPS,
@@ -283,14 +295,52 @@ impl Runner {
     }
 }
 
-/// Runs all three Table XI policies on the same seed and returns
-/// `(baseline, oc_e, oc_a)`.
-pub fn table11_runs(config: RunnerConfig, seed: u64) -> (RunResult, RunResult, RunResult) {
-    (
-        Runner::new(config.clone(), Policy::Baseline, seed).run(),
-        Runner::new(config.clone(), Policy::OcE, seed).run(),
-        Runner::new(config, Policy::OcA, seed).run(),
+/// Runs a batch of `(config, policy, seed)` experiments through the
+/// deterministic scatter-gather pool ([`ic_par::pool`]) and returns the
+/// results **in input order**. Each run is a pure function of its tuple
+/// (the whole simulation derives from the explicit seed), so the output
+/// is byte-identical for any `IC_PAR_WORKERS` setting. Traces and
+/// metrics cannot be attached to batched runs; use [`Runner`] directly
+/// for instrumented single runs.
+pub fn run_batch(tasks: Vec<(RunnerConfig, Policy, u64)>) -> Vec<RunResult> {
+    ic_par::pool().scatter_gather(tasks, |_, (config, policy, seed)| {
+        Runner::new(config, policy, seed).run()
+    })
+}
+
+/// Sweeps one policy across a grid of auto-scaler configurations on a
+/// shared seed — the ASC sensitivity sweep — in parallel, results in
+/// input order.
+pub fn sweep_asc_configs(
+    base: &RunnerConfig,
+    policy: Policy,
+    seed: u64,
+    configs: Vec<AscConfig>,
+) -> Vec<RunResult> {
+    run_batch(
+        configs
+            .into_iter()
+            .map(|asc| {
+                let mut cfg = base.clone();
+                cfg.asc = asc;
+                (cfg, policy, seed)
+            })
+            .collect(),
     )
+}
+
+/// Runs all three Table XI policies on the same seed (in parallel, via
+/// [`run_batch`]) and returns `(baseline, oc_e, oc_a)`.
+pub fn table11_runs(config: RunnerConfig, seed: u64) -> (RunResult, RunResult, RunResult) {
+    let mut results = run_batch(vec![
+        (config.clone(), Policy::Baseline, seed),
+        (config.clone(), Policy::OcE, seed),
+        (config, Policy::OcA, seed),
+    ]);
+    let oc_a = results.pop().expect("three results");
+    let oc_e = results.pop().expect("three results");
+    let baseline = results.pop().expect("three results");
+    (baseline, oc_e, oc_a)
 }
 
 #[cfg(test)]
@@ -311,6 +361,75 @@ mod tests {
         assert_eq!(s.len(), 8);
         assert_eq!(s[0], (0.0, 500.0));
         assert_eq!(s[7], (2100.0, 4000.0));
+    }
+
+    #[test]
+    fn ten_thousand_step_ramp_stays_on_the_grid() {
+        // Regression: the schedule used to accumulate `t += dwell` and
+        // `qps += step`; with a non-representable 0.1 step the summed
+        // rounding error shifted late entries off the grid (and could
+        // change the step count). Index arithmetic pins every entry.
+        let (start, max, step, dwell) = (0.0, 1000.0, 0.1, 0.1);
+        let s = ramp_schedule(start, max, step, dwell);
+        assert_eq!(s.len(), 10_001);
+        for (i, &(t, qps)) in s.iter().enumerate() {
+            assert_eq!(t, i as f64 * dwell, "t off-grid at step {i}");
+            assert_eq!(qps, start + i as f64 * step, "qps off-grid at step {i}");
+        }
+        // The accumulating formulation this replaced really does drift,
+        // so these assertions would catch its reintroduction.
+        let mut acc = start;
+        for _ in 0..10_000 {
+            acc += step;
+        }
+        assert_ne!(acc, start + 10_000.0 * step);
+    }
+
+    #[test]
+    fn empty_and_degenerate_ramps() {
+        assert!(ramp_schedule(2000.0, 1000.0, 500.0, 300.0).is_empty());
+        assert_eq!(ramp_schedule(500.0, 500.0, 500.0, 300.0), [(0.0, 500.0)]);
+    }
+
+    #[test]
+    fn run_batch_matches_serial_runs_in_order() {
+        let tasks = vec![
+            (quick_config(), Policy::Baseline, 7),
+            (quick_config(), Policy::OcE, 7),
+            (quick_config(), Policy::OcA, 7),
+        ];
+        let serial: Vec<RunResult> = tasks
+            .iter()
+            .cloned()
+            .map(|(c, p, s)| Runner::new(c, p, s).run())
+            .collect();
+        let batch = run_batch(tasks);
+        assert_eq!(batch.len(), serial.len());
+        for (a, b) in serial.iter().zip(&batch) {
+            assert_eq!(a.policy, b.policy);
+            assert_eq!(a.p95_latency_s, b.p95_latency_s);
+            assert_eq!(a.vm_hours, b.vm_hours);
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.sim_events, b.sim_events);
+        }
+    }
+
+    #[test]
+    fn asc_config_sweep_preserves_input_order() {
+        let base = quick_config();
+        let mut eager = AscConfig::paper();
+        eager.scale_out_threshold = 0.30;
+        eager.scale_up_threshold = 0.30;
+        let paper = AscConfig::paper();
+        let results = sweep_asc_configs(&base, Policy::Baseline, 5, vec![eager, paper]);
+        assert_eq!(results.len(), 2);
+        // The eager scale-out threshold provisions more aggressively.
+        assert!(
+            results[0].vm_hours > results[1].vm_hours,
+            "eager {} vs paper {}",
+            results[0].vm_hours,
+            results[1].vm_hours
+        );
     }
 
     #[test]

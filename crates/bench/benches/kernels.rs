@@ -17,12 +17,18 @@
 //! `bench-smoke` job. It reports raw-engine and M/G/k events/sec, the
 //! steady-state allocations per event (counted by this binary's global
 //! allocator — expected to be exactly 0 on the inline event path), the
-//! boxed-event count, and the end-to-end wall time of the `table11`
-//! experiment from the registry. Floats are encoded with
-//! [`ic_obs::json::write_f64`] so equal measurements encode identically.
+//! boxed-event count, the end-to-end wall time of the `table11`
+//! experiment from the registry (three policies through the `ic-par`
+//! scatter-gather pool), the throughput of a three-policy sweep
+//! (runs/sec), the governor's steady-state cache hit rate, and the
+//! worker count the pool resolved (`IC_PAR_WORKERS` or the machine's
+//! parallelism — wall-clock numbers only speed up with real cores).
+//! Floats are encoded with [`ic_obs::json::write_f64`] so equal
+//! measurements encode identically.
 
 use ic_autoscale::asc::AutoScaler;
 use ic_autoscale::policy::{AscConfig, Policy};
+use ic_autoscale::runner::{run_batch, RunnerConfig};
 use ic_bench::registry::{run_one, Mode};
 use ic_cluster::cluster::Cluster;
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
@@ -234,6 +240,41 @@ fn bench_models() {
     );
 }
 
+/// Times a three-policy scatter-gather sweep (the Figure 8 scenario
+/// through [`run_batch`]) and returns completed runs per second.
+fn sweep_runs_per_sec(quick: bool) -> f64 {
+    let mut config = RunnerConfig::paper();
+    config.schedule = vec![(0.0, 500.0), (300.0, if quick { 900.0 } else { 1000.0 })];
+    config.tail_s = 300.0;
+    let tasks: Vec<_> = [Policy::Baseline, Policy::OcE, Policy::OcA]
+        .into_iter()
+        .map(|policy| (config.clone(), policy, 42))
+        .collect();
+    let n = tasks.len() as f64;
+    let start = Instant::now();
+    black_box(run_batch(tasks));
+    n / start.elapsed().as_secs_f64()
+}
+
+/// Exercises the governor's decision loop over a grid of power grants
+/// and reports the steady-state memo table's hit rate — the fraction of
+/// power/temperature fixed points served without re-solving.
+fn governor_cache_hit_rate() -> f64 {
+    let governor = OverclockGovernor::new(
+        CpuSku::skylake_8180(),
+        ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+        CompositeLifetimeModel::fitted_5nm(),
+        StabilityModel::paper_characterization(),
+        GovernorConfig::default(),
+    );
+    for grant in [180.0, 205.0, 255.0, 305.0, 400.0] {
+        for _ in 0..40 {
+            black_box(governor.decide(Frequency::from_ghz(3.3), grant));
+        }
+    }
+    governor.cache().hit_rate()
+}
+
 /// Collects the perf-trajectory metrics (the `BENCH_sim.json` payload).
 fn trajectory(quick: bool) -> Vec<(&'static str, f64)> {
     let batches = if quick { 3 } else { 5 };
@@ -242,6 +283,7 @@ fn trajectory(quick: bool) -> Vec<(&'static str, f64)> {
     let (mgk_best, mgk_events, mgk_boxed) = mgk_measure(batches, if quick { 3 } else { 10 });
     let mode = if quick { Mode::Quick } else { Mode::Full };
     let table11 = run_one("table11", &Scenario::paper(), mode).expect("table11 is registered");
+    let sweep_rps = sweep_runs_per_sec(quick);
     vec![
         ("engine_events_per_sec", ENGINE_EVENTS as f64 / engine_best),
         ("engine_ms_per_100k_events", engine_best * 1e3),
@@ -250,13 +292,16 @@ fn trajectory(quick: bool) -> Vec<(&'static str, f64)> {
         ("mgk_events_per_sec", mgk_events as f64 / mgk_best),
         ("mgk_boxed_events", mgk_boxed as f64),
         ("table11_wall_ms", table11.wall_ms),
+        ("sweep_runs_per_sec", sweep_rps),
+        ("steady_cache_hit_rate", governor_cache_hit_rate()),
+        ("par_workers", ic_par::pool().workers() as f64),
     ]
 }
 
 /// Encodes the trajectory metrics as one deterministic-layout JSON
 /// object (only the measurements themselves vary run to run).
 fn trajectory_json(quick: bool, metrics: &[(&'static str, f64)]) -> String {
-    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v1\",\"mode\":");
+    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v2\",\"mode\":");
     write_escaped(if quick { "quick" } else { "full" }, &mut out);
     for (key, value) in metrics {
         out.push(',');
@@ -298,4 +343,13 @@ fn main() {
     bench_placement();
     bench_governor();
     bench_models();
+    println!(
+        "sweep_throughput             {:>10.3} runs/s ({} pool workers)",
+        sweep_runs_per_sec(true),
+        ic_par::pool().workers()
+    );
+    println!(
+        "steady_cache_hit_rate        {:>10.3}",
+        governor_cache_hit_rate()
+    );
 }

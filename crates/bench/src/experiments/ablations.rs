@@ -8,7 +8,7 @@
 
 use crate::{cell, table};
 use ic_autoscale::policy::Policy;
-use ic_autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
+use ic_autoscale::runner::{ramp_schedule, run_batch, RunnerConfig};
 use ic_cluster::cluster::Cluster;
 use ic_cluster::lifecycle::{run_lifecycle, LifecycleConfig};
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
@@ -26,13 +26,23 @@ fn short_ramp() -> RunnerConfig {
 /// Sweeps the scale-out interference level: how much of the Table XI
 /// latency story comes from VM creation disturbing the serving VMs.
 pub fn ablation_interference() -> String {
+    // The full 4 × 3 grid goes through the scatter-gather pool in one
+    // fixed decomposition; results come back in grid order.
+    let levels = [0.0, 0.16, 0.32, 0.40];
+    let tasks: Vec<_> = levels
+        .iter()
+        .flat_map(|&interference| {
+            let mut cfg = short_ramp();
+            cfg.asc.scale_out_interference = interference;
+            [Policy::Baseline, Policy::OcE, Policy::OcA]
+                .into_iter()
+                .map(move |policy| (cfg.clone(), policy, 42))
+        })
+        .collect();
+    let results = run_batch(tasks);
     let mut rows = Vec::new();
-    for interference in [0.0, 0.16, 0.32, 0.40] {
-        let mut cfg = short_ramp();
-        cfg.asc.scale_out_interference = interference;
-        let base = Runner::new(cfg.clone(), Policy::Baseline, 42).run();
-        let oce = Runner::new(cfg.clone(), Policy::OcE, 42).run();
-        let oca = Runner::new(cfg, Policy::OcA, 42).run();
+    for (i, &interference) in levels.iter().enumerate() {
+        let (base, oce, oca) = (&results[3 * i], &results[3 * i + 1], &results[3 * i + 2]);
         rows.push(vec![
             format!("{:.2}", interference),
             cell(oce.p95_latency_s / base.p95_latency_s, 2),
@@ -56,15 +66,22 @@ pub fn ablation_interference() -> String {
 /// paper cites as complementary state of the art.
 pub fn ablation_policies() -> String {
     let cfg = short_ramp();
-    let base = Runner::new(cfg.clone(), Policy::Baseline, 42).run();
+    let results = run_batch(
+        [
+            Policy::Baseline,
+            Policy::Predictive,
+            Policy::OcE,
+            Policy::OcA,
+        ]
+        .into_iter()
+        .map(|policy| (cfg.clone(), policy, 42))
+        .collect(),
+    );
+    // Baseline is task 0; it doubles as the normalization reference,
+    // which the old serial version ran a fifth, redundant time.
+    let base = &results[0];
     let mut rows = Vec::new();
-    for policy in [
-        Policy::Baseline,
-        Policy::Predictive,
-        Policy::OcE,
-        Policy::OcA,
-    ] {
-        let r = Runner::new(cfg.clone(), policy, 42).run();
+    for r in &results {
         rows.push(vec![
             r.policy.to_string(),
             cell(r.p95_latency_s / base.p95_latency_s, 2),

@@ -2,7 +2,7 @@
 
 use crate::{cell, table};
 use ic_autoscale::policy::Policy;
-use ic_autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
+use ic_autoscale::runner::{ramp_schedule, run_batch, Runner, RunnerConfig};
 use ic_core::domains::OperatingDomains;
 use ic_core::usecases::buffer::{static_buffer_servers, virtual_buffer_servers};
 use ic_core::usecases::capacity::{CapacitySnapshot, CapacityTimeline};
@@ -190,8 +190,13 @@ pub fn fig8(quick: bool) -> String {
     config.schedule = vec![(0.0, 500.0), (300.0, if quick { 900.0 } else { 1000.0 })];
     config.tail_s = 300.0;
     let mut out = String::from("== Figure 8: hiding vs avoiding the scale-out ==\n");
-    for policy in [Policy::Baseline, Policy::OcE, Policy::OcA] {
-        let r = Runner::new(config.clone(), policy, 42).run();
+    let results = run_batch(
+        [Policy::Baseline, Policy::OcE, Policy::OcA]
+            .into_iter()
+            .map(|policy| (config.clone(), policy, 42))
+            .collect(),
+    );
+    for r in results {
         let f_peak = r.frequency_pct.max().unwrap_or(0.0);
         let final_vms = r.vm_count.points().last().map(|&(_, v)| v).unwrap_or(0.0);
         out.push_str(&format!(
@@ -471,10 +476,16 @@ pub fn fig16(quick: bool) -> String {
     if quick {
         config.schedule = ramp_schedule(500.0, 2500.0, 500.0, 300.0);
     }
+    let policies = [Policy::Baseline, Policy::OcE, Policy::OcA];
+    let results = run_batch(
+        policies
+            .into_iter()
+            .map(|policy| (config.clone(), policy, 42))
+            .collect(),
+    );
     let mut series = Vec::new();
     let mut summary = String::new();
-    for policy in [Policy::Baseline, Policy::OcE, Policy::OcA] {
-        let r = Runner::new(config.clone(), policy, 42).run();
+    for (policy, r) in policies.into_iter().zip(results) {
         let mut s = ic_sim::series::TimeSeries::new(match policy {
             Policy::Baseline => "baseline_util",
             Policy::OcE => "oce_util",
@@ -581,8 +592,13 @@ pub fn fig16_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
     }
     let mut sim_events = 0;
     let mut metrics = Vec::new();
-    for policy in [Policy::Baseline, Policy::OcE, Policy::OcA] {
-        let r = Runner::new(config.clone(), policy, 42).run();
+    let results = run_batch(
+        [Policy::Baseline, Policy::OcE, Policy::OcA]
+            .into_iter()
+            .map(|policy| (config.clone(), policy, 42))
+            .collect(),
+    );
+    for r in results {
         sim_events += r.sim_events;
         metrics.push(Metric::new(
             format!("peak_util_pct[{}]", r.policy),

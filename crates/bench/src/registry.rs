@@ -11,10 +11,9 @@
 
 use crate::experiments::{figures, tables};
 use crate::report::{ExperimentRecord, Metric};
+use ic_par::ParPool;
 use ic_scenario::Scenario;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 /// Whether simulation-backed experiments run their shortened or full
@@ -305,32 +304,14 @@ pub fn select(only: Option<&[String]>) -> Result<Vec<&'static FnExperiment>, Unk
     }
 }
 
-/// Runs `run(0..n)` across up to `jobs` worker threads, pulling indices
-/// from a shared counter, and returns the results in index order. With
-/// `jobs <= 1` everything runs on the calling thread; either way the
-/// output order is deterministic.
+/// Runs `run(0..n)` across up to `jobs` worker threads through the
+/// deterministic scatter-gather pool ([`ic_par::ParPool`]) and returns
+/// the results in index order. With `jobs <= 1` everything runs on the
+/// calling thread; either way the output is byte-identical — experiments
+/// inside a worker may themselves fan out via `ic_par` (nested scoped
+/// pools compose without deadlock).
 fn fan_out<T: Send>(n: usize, jobs: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let jobs = jobs.clamp(1, n.max(1));
-    if jobs == 1 {
-        return (0..n).map(run).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = run(i);
-                done.lock().unwrap().push((i, out));
-            });
-        }
-    });
-    let mut done = done.into_inner().unwrap();
-    done.sort_by_key(|(i, _)| *i);
-    done.into_iter().map(|(_, t)| t).collect()
+    ParPool::with_workers(jobs.clamp(1, n.max(1))).scatter_gather((0..n).collect(), |_, i| run(i))
 }
 
 /// Renders the selected experiments (all of them for `only: None`) and

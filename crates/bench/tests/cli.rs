@@ -15,6 +15,22 @@ fn run_all(args: &[&str]) -> std::process::Output {
         .expect("run_all binary spawns")
 }
 
+fn stdout_with_env(args: &[&str], envs: &[(&str, &str)]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(args)
+        .envs(envs.iter().map(|&(k, v)| (k, v)))
+        .output()
+        .expect("run_all binary spawns");
+    assert!(
+        out.status.success(),
+        "run_all {:?} with {:?} failed: {}",
+        args,
+        envs,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
 fn stdout_of(args: &[&str]) -> String {
     let out = run_all(args);
     assert!(
@@ -105,6 +121,31 @@ fn paper_scenario_file_reproduces_the_default_run() {
     assert_eq!(from_file, default, "paper scenario file must be a no-op");
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn intra_experiment_worker_count_does_not_change_the_report() {
+    // The full determinism contract of the ic-par conversion: the outer
+    // experiment fan-out (--jobs) and the inner sweep scatter-gather
+    // (IC_PAR_WORKERS) both vary, and the records stay byte-identical
+    // modulo wall_ms. Restricted to the two experiments that sweep
+    // policies through run_batch, to keep the differential fast.
+    let only = "fig8,table11";
+    let serial = stdout_with_env(
+        &["--quick", "--json", "--only", only, "--jobs", "1"],
+        &[("IC_PAR_WORKERS", "1")],
+    );
+    for (jobs, workers) in [("1", "4"), ("4", "2"), ("3", "5")] {
+        let got = stdout_with_env(
+            &["--quick", "--json", "--only", only, "--jobs", jobs],
+            &[("IC_PAR_WORKERS", workers)],
+        );
+        assert_eq!(
+            normalize_wall_ms(&serial),
+            normalize_wall_ms(&got),
+            "--jobs {jobs} IC_PAR_WORKERS={workers} must match the serial report"
+        );
+    }
 }
 
 #[test]

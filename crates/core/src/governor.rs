@@ -19,6 +19,7 @@
 use crate::domains::OperatingDomains;
 use ic_obs::json::Value;
 use ic_obs::trace::{TraceHandle, TraceLevel};
+use ic_power::cache::SteadyStateCache;
 use ic_power::cpu::CpuSku;
 use ic_power::units::Frequency;
 use ic_reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
@@ -93,6 +94,11 @@ pub struct OverclockGovernor {
     lifetime: CompositeLifetimeModel,
     stability: StabilityModel,
     config: GovernorConfig,
+    /// Every ceiling search walks the same bin ladder through the same
+    /// power/temperature fixed points; the memo table makes repeated
+    /// `decide` calls cost one solve per distinct operating point over
+    /// the governor's lifetime.
+    cache: SteadyStateCache,
 }
 
 impl std::fmt::Debug for OverclockGovernor {
@@ -119,7 +125,13 @@ impl OverclockGovernor {
             lifetime,
             stability,
             config,
+            cache: SteadyStateCache::new(),
         }
+    }
+
+    /// The governor's steady-state memo table (hit-rate inspection).
+    pub fn cache(&self) -> &SteadyStateCache {
+        &self.cache
     }
 
     /// The highest frequency the stability envelope permits: the stable
@@ -141,7 +153,7 @@ impl OverclockGovernor {
         for _ in 0..40 {
             f = f.step_bins(1);
             let v = self.sku.voltage_for(f);
-            let ss = self.sku.steady_state(&self.iface, f, v);
+            let ss = self.cache.steady_state(&self.sku, &self.iface, f, v);
             let cond = OperatingConditions::new(
                 v.volts(),
                 ss.tj_c.clamp(self.config.tj_min_c, 149.0),
@@ -159,7 +171,8 @@ impl OverclockGovernor {
     /// The highest frequency whose steady-state power fits inside
     /// `granted_power_w` (e.g. a [`ic_power::capping::PowerGrant`]).
     pub fn power_ceiling(&self, granted_power_w: f64) -> Frequency {
-        self.sku.max_turbo(&self.iface, granted_power_w)
+        self.cache
+            .max_turbo(&self.sku, &self.iface, granted_power_w)
     }
 
     /// Grants the highest safe frequency at or below `requested`,
@@ -362,6 +375,27 @@ mod tests {
         assert!(line.contains("\"requested_mhz\":3300"), "{line}");
         assert!(line.contains("\"granted_power_w\":180"), "{line}");
         assert!(line.contains("\"binding\":\"power\""), "{line}");
+    }
+
+    #[test]
+    fn cached_ceilings_match_the_direct_solver() {
+        let g = hfe_governor();
+        let iface = ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0);
+        for limit in [150.0, 205.0, 305.0, 400.0] {
+            assert_eq!(
+                g.power_ceiling(limit),
+                g.sku().max_turbo(&iface, limit),
+                "limit {limit}"
+            );
+        }
+        let first = g.decide(Frequency::from_ghz(3.3), 305.0);
+        let second = g.decide(Frequency::from_ghz(3.3), 305.0);
+        assert_eq!(first, second);
+        assert!(
+            g.cache().hit_rate() > 0.5,
+            "repeated decisions should be memo-dominated, hit rate {}",
+            g.cache().hit_rate()
+        );
     }
 
     #[test]

@@ -64,6 +64,16 @@ impl LeakageModel {
         Self::from_spec(&PowerCalibration::paper().leakage)
     }
 
+    /// The scale factor `k`, watts at V = 1 V and T = 0 °C.
+    pub fn k_w_per_v2(&self) -> f64 {
+        self.k
+    }
+
+    /// The exponential temperature coefficient `β`, 1/°C.
+    pub fn beta_per_c(&self) -> f64 {
+        self.beta
+    }
+
     /// Static power in watts at junction temperature `tj_c` and rail
     /// voltage `v`.
     ///

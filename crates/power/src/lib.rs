@@ -16,7 +16,9 @@
 //! * [`server`] — the Open Compute server component breakdown (700 W in
 //!   air, 658 W immersed) and the paper's 182 W/server savings estimate,
 //! * [`capping`] — RAPL-style priority-aware power capping for
-//!   oversubscribed power delivery infrastructure.
+//!   oversubscribed power delivery infrastructure,
+//! * [`cache`] — memoized steady-state solves and precomputed per-SKU
+//!   operating-point tables for sweep-style callers.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 //! assert_eq!((tank_turbo.ghz() - air_turbo.ghz() * 1.0) .max(0.0) > 0.05, true);
 //! ```
 
+pub mod cache;
 pub mod capping;
 pub mod cpu;
 pub mod hierarchy;

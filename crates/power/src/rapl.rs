@@ -8,10 +8,28 @@
 //! operating point will survive the capper. [`RaplController`] simulates
 //! the feedback loop against the socket power model.
 
+use crate::cache::SteadyStateCache;
 use crate::cpu::CpuSku;
 use crate::units::Frequency;
 use ic_thermal::junction::ThermalInterface;
 use serde::{Deserialize, Serialize};
+
+/// Absolute floor of the convergence band, watts.
+const CONVERGENCE_ABS_W: f64 = 0.5;
+/// Relative half-width of the convergence band.
+const CONVERGENCE_REL: f64 = 0.02;
+
+/// `true` when the running-average power has converged on the
+/// instantaneous power: within 2 % relatively *or* 0.5 W absolutely,
+/// whichever band is wider. A purely relative band collapses to zero
+/// width as power approaches zero, so an idle or deeply-throttled
+/// socket (instantaneous power ≈ 0 W) would never register as
+/// converged even with the average pinned to it; the absolute floor
+/// keeps the check meaningful there.
+pub fn power_converged(avg_w: f64, instant_w: f64) -> bool {
+    let tol = CONVERGENCE_ABS_W.max(CONVERGENCE_REL * instant_w.abs());
+    (avg_w - instant_w).abs() < tol
+}
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,6 +78,10 @@ pub struct RaplController {
     floor: Frequency,
     target: Frequency,
     t_s: f64,
+    /// The settle loop revisits a handful of frequency bins hundreds of
+    /// times while the EMA drains; memoizing the solves makes settling
+    /// cost one fixed point per distinct bin.
+    cache: SteadyStateCache,
 }
 
 impl RaplController {
@@ -78,6 +100,7 @@ impl RaplController {
             floor,
             target,
             t_s: 0.0,
+            cache: SteadyStateCache::new(),
         }
     }
 
@@ -86,10 +109,15 @@ impl RaplController {
         self.current
     }
 
+    /// The controller's steady-state memo table (hit-rate inspection).
+    pub fn cache(&self) -> &SteadyStateCache {
+        &self.cache
+    }
+
     /// Advances the loop one control period against the socket model.
     pub fn step(&mut self, sku: &CpuSku, iface: &ThermalInterface) -> RaplStep {
         let v = sku.voltage_for(self.current);
-        let power = sku.steady_state(iface, self.current, v).power_w;
+        let power = self.cache.steady_state(sku, iface, self.current, v).power_w;
         // Exponential moving average with time constant = window.
         let alpha = (self.config.period_s / self.config.window_s).min(1.0);
         if self.t_s == 0.0 {
@@ -108,7 +136,10 @@ impl RaplController {
             // the next bin still fits the cap (predictive up-step, as
             // real governors do to avoid limit cycles).
             let next = self.current.step_bins(1).clamp(self.floor, self.target);
-            let next_power = sku.steady_state(iface, next, sku.voltage_for(next)).power_w;
+            let next_power = self
+                .cache
+                .steady_state(sku, iface, next, sku.voltage_for(next))
+                .power_w;
             if next_power <= self.config.power_limit_w {
                 self.current = next;
             }
@@ -141,8 +172,7 @@ impl RaplController {
             // Equilibrium = frequency unchanged AND the running average
             // has converged to the instantaneous power (otherwise the
             // loop is merely waiting for the EMA to drain).
-            let converged = (step.avg_power_w - step.power_w).abs() < 0.02 * step.power_w;
-            if step.frequency == last && converged {
+            if step.frequency == last && power_converged(step.avg_power_w, step.power_w) {
                 stable += 1;
                 if stable >= settle_periods {
                     return step.frequency;
@@ -214,6 +244,44 @@ mod tests {
             ctl.step(&sku, &tank());
         }
         assert_eq!(ctl.current_frequency(), floor);
+    }
+
+    #[test]
+    fn convergence_is_sane_at_zero_and_near_zero_power() {
+        // A purely relative band has zero width at 0 W; the mixed
+        // tolerance must accept a pinned average there...
+        assert!(power_converged(0.0, 0.0));
+        assert!(power_converged(0.3, 0.0));
+        assert!(power_converged(0.2, 0.4));
+        // ...while still rejecting a genuinely drifted average.
+        assert!(!power_converged(0.8, 0.2));
+        assert!(!power_converged(5.0, 0.0));
+    }
+
+    #[test]
+    fn convergence_is_relative_at_operating_power() {
+        // At 200 W the 2 % band (±4 W) dominates the 0.5 W floor.
+        assert!(power_converged(203.0, 200.0));
+        assert!(power_converged(197.0, 200.0));
+        assert!(!power_converged(205.0, 200.0));
+        assert!(!power_converged(194.0, 200.0));
+    }
+
+    #[test]
+    fn settle_reuses_cached_steady_states() {
+        let sku = CpuSku::skylake_8180();
+        let mut ctl =
+            RaplController::new(RaplConfig::pl1(205.0), sku.base(), Frequency::from_ghz(3.3));
+        ctl.settle(&sku, &tank(), 10, 500);
+        let cache = ctl.cache();
+        assert!(
+            cache.hit_rate() > 0.7,
+            "settle loop should be memo-dominated, hit rate {}",
+            cache.hit_rate()
+        );
+        // Distinct bins solved: at most the ladder between floor and
+        // target (14 bins), each at two key roles (current + predictive).
+        assert!(cache.len() <= 15, "distinct points {}", cache.len());
     }
 
     #[test]

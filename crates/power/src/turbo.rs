@@ -9,6 +9,7 @@
 //! with `n` active cores, each core may run as fast as the TDP allows
 //! when only `n/total` of the dynamic power is being drawn.
 
+use crate::cache::SteadyStateCache;
 use crate::cpu::CpuSku;
 use crate::units::Frequency;
 use ic_thermal::junction::ThermalInterface;
@@ -35,6 +36,10 @@ impl TurboTable {
     ) -> Self {
         let total = sku.cores();
         let mut entries = Vec::with_capacity(total as usize);
+        // Every active-core count scans the same frequency ladder, so
+        // the (f, v) steady states repeat `total` times over — memoize
+        // them across the derivation.
+        let cache = SteadyStateCache::new();
         for active in 1..=total {
             // Dynamic power scales with the active share; leakage is
             // whole-die. Find the highest bin whose scaled steady-state
@@ -48,7 +53,7 @@ impl TurboTable {
                     break;
                 }
                 let v = sku.voltage_for(f);
-                let full = sku.steady_state(iface, f, v);
+                let full = cache.steady_state(sku, iface, f, v);
                 let scaled = full.static_w + (full.power_w - full.static_w) * share;
                 if scaled <= power_limit_w {
                     best = f;

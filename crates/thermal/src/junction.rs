@@ -120,6 +120,20 @@ impl ThermalInterface {
         &self.medium
     }
 
+    /// An identity key over the two parameters that determine
+    /// [`junction_temp_c`](Self::junction_temp_c) (bit patterns of the
+    /// reference temperature and thermal resistance). Two interfaces
+    /// with equal keys produce identical junction temperatures for every
+    /// power input, so the key is safe to memoize steady-state solves
+    /// on; the medium is deliberately excluded because it does not enter
+    /// the temperature model.
+    pub fn thermal_key(&self) -> (u64, u64) {
+        (
+            self.reference_temp_c.to_bits(),
+            self.resistance_c_per_w.to_bits(),
+        )
+    }
+
     /// Steady-state junction temperature for a component dissipating
     /// `power_w`.
     ///

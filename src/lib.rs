@@ -8,6 +8,7 @@
 //! |---|---|---|
 //! | [`scenario`] | `ic-scenario` | Serializable calibration scenarios (`Scenario::paper()`, JSON codec) |
 //! | [`sim`] | `ic-sim` | Discrete-event engine, RNG, distributions, statistics |
+//! | [`par`] | `ic-par` | Deterministic scatter-gather pool for intra-experiment sweeps |
 //! | [`thermal`] | `ic-thermal` | Cooling technologies, fluids, junction model, tanks |
 //! | [`power`] | `ic-power` | V/f curves, leakage, socket/server power, capping |
 //! | [`reliability`] | `ic-reliability` | Lifetime model (Table V), wear credit, stability |
@@ -37,6 +38,7 @@ pub use ic_autoscale as autoscale;
 pub use ic_cluster as cluster;
 pub use ic_core as core;
 pub use ic_obs as obs;
+pub use ic_par as par;
 pub use ic_power as power;
 pub use ic_reliability as reliability;
 pub use ic_scenario as scenario;
