@@ -8,6 +8,7 @@
 //! changes driven by Equation 1.
 
 use crate::policy::{AscConfig, Policy, ScalingMetric};
+use ic_obs::flight::FlightHandle;
 use ic_obs::json::Value;
 use ic_obs::metrics::MetricsHandle;
 use ic_obs::trace::{TraceHandle, TraceLevel};
@@ -54,6 +55,7 @@ pub struct AutoScaler {
     scale_ins: u32,
     trace: Option<TraceHandle>,
     metrics: Option<MetricsHandle>,
+    flight: Option<FlightHandle>,
 }
 
 impl std::fmt::Debug for AutoScaler {
@@ -88,6 +90,7 @@ impl AutoScaler {
             scale_ins: 0,
             trace: None,
             metrics: None,
+            flight: None,
         }
     }
 
@@ -106,6 +109,15 @@ impl AutoScaler {
         self.metrics = Some(metrics);
     }
 
+    /// Attaches a flight recorder: every emitted controller transition
+    /// is mirrored as an instant on the flight timeline (same kinds and
+    /// fields as [`attach_trace`](Self::attach_trace)), so scale
+    /// decisions and Equation-1 evaluations line up with engine phases
+    /// and runner windows in the exported trace.
+    pub fn attach_flight(&mut self, flight: FlightHandle) {
+        self.flight = Some(flight);
+    }
+
     fn emit(
         &self,
         now: SimTime,
@@ -113,6 +125,11 @@ impl AutoScaler {
         kind: &'static str,
         fields: Vec<(&'static str, Value)>,
     ) {
+        if let Some(flight) = &self.flight {
+            flight
+                .borrow_mut()
+                .instant_at(now, "asc", kind, level, fields.clone());
+        }
         if let Some(trace) = &self.trace {
             trace.borrow_mut().emit(now, "asc", level, kind, fields);
         }

@@ -4,8 +4,11 @@
 
 use crate::asc::AutoScaler;
 use crate::policy::{AscConfig, Policy};
+use ic_obs::engine_obs::EngineSpans;
+use ic_obs::flight::{FlightHandle, FlightRecorder};
+use ic_obs::json::Value;
 use ic_obs::metrics::MetricsHandle;
-use ic_obs::trace::TraceHandle;
+use ic_obs::trace::{TraceHandle, TraceLevel};
 use ic_power::units::{Frequency, Voltage};
 use ic_power::vf::VfCurve;
 use ic_sim::series::TimeSeries;
@@ -154,6 +157,7 @@ pub struct Runner {
     seed: u64,
     trace: Option<TraceHandle>,
     metrics: Option<MetricsHandle>,
+    flight: Option<FlightHandle>,
 }
 
 impl Runner {
@@ -165,6 +169,7 @@ impl Runner {
             seed,
             trace: None,
             metrics: None,
+            flight: None,
         }
     }
 
@@ -183,6 +188,17 @@ impl Runner {
     /// registry alone.
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Records the run on a flight recorder: a run-level span wrapping
+    /// one `runner`/`step` span per decision window, per-event-kind
+    /// engine phases (via [`EngineSpans`]) flushed each window onto
+    /// their own tracks, and the auto-scaler's decision instants. All
+    /// timestamps are simulation time, so same-seed runs export
+    /// byte-identical traces.
+    pub fn with_flight(mut self, flight: FlightHandle) -> Self {
+        self.flight = Some(flight);
         self
     }
 
@@ -206,6 +222,20 @@ impl Runner {
         if let Some(metrics) = &self.metrics {
             asc.attach_metrics(metrics.clone());
         }
+        let run_span = self.flight.as_ref().map(|flight| {
+            asc.attach_flight(flight.clone());
+            sim.set_observer(Box::new(EngineSpans::new(flight.clone(), "engine")));
+            flight.borrow_mut().open_at(
+                SimTime::ZERO,
+                "runner",
+                "run",
+                TraceLevel::Info,
+                vec![
+                    ("policy", Value::str(self.policy.label())),
+                    ("seed", Value::U64(self.seed)),
+                ],
+            )
+        });
 
         let vf = VfCurve::xeon_w3175x();
         let base_f = Frequency::from_ghz(3.4);
@@ -233,6 +263,7 @@ impl Runner {
                 sim.set_qps(cfg.schedule[next_step].1);
                 next_step += 1;
             }
+            let window_start = t;
             t = (t + period).min(end);
             sim.advance_to(t);
             let trace = asc.step(&mut sim);
@@ -265,6 +296,31 @@ impl Runner {
             let idle_cores = 28.0 - busy_cores;
             let host_w = 45.0 + 15.0 * fv2 + 30.0 + 2.5 * busy_cores * fv2 + 0.8 * idle_cores * fv2;
             power.set(t, host_w);
+
+            if let Some(flight) = &self.flight {
+                let mut f = flight.borrow_mut();
+                f.flush_phases();
+                f.record_complete(
+                    window_start,
+                    t,
+                    "runner",
+                    "step",
+                    TraceLevel::Debug,
+                    vec![
+                        ("util", Value::F64(trace.instant_util)),
+                        ("freq_ratio", Value::F64(trace.freq_ratio)),
+                        ("vms", Value::U64(trace.active_vms as u64)),
+                    ],
+                );
+            }
+        }
+
+        if let Some(flight) = &self.flight {
+            let mut f = flight.borrow_mut();
+            f.flush_phases();
+            if let Some(token) = run_span.flatten() {
+                f.close_at(token, end);
+            }
         }
 
         let vm_hours = vm_integral.average(end) * end.as_secs_f64() / 3600.0;
@@ -299,13 +355,50 @@ impl Runner {
 /// deterministic scatter-gather pool ([`ic_par::pool`]) and returns the
 /// results **in input order**. Each run is a pure function of its tuple
 /// (the whole simulation derives from the explicit seed), so the output
-/// is byte-identical for any `IC_PAR_WORKERS` setting. Traces and
-/// metrics cannot be attached to batched runs; use [`Runner`] directly
-/// for instrumented single runs.
+/// is byte-identical for any `IC_PAR_WORKERS` setting. Metrics cannot
+/// be attached to batched runs; for flight-recorded batches see
+/// [`run_batch_traced`], and use [`Runner`] directly for fully
+/// instrumented single runs.
 pub fn run_batch(tasks: Vec<(RunnerConfig, Policy, u64)>) -> Vec<RunResult> {
     ic_par::pool().scatter_gather(tasks, |_, (config, policy, seed)| {
         Runner::new(config, policy, seed).run()
     })
+}
+
+/// Ring capacity for each batched run's task-local flight recorder.
+const TASK_FLIGHT_CAPACITY: usize = 1 << 16;
+
+/// [`run_batch`] with flight recording: each run records into its own
+/// task-local recorder (see [`ic_par::ParPool::scatter_gather_traced`])
+/// and the finished recorders are absorbed into `flight` **in
+/// submission order**, labeled `<policy>#<seed>`, so the merged trace
+/// is byte-identical for any worker count.
+pub fn run_batch_traced(
+    tasks: Vec<(RunnerConfig, Policy, u64)>,
+    flight: &FlightHandle,
+) -> Vec<RunResult> {
+    let labels: Vec<String> = tasks
+        .iter()
+        .map(|(_, policy, seed)| format!("{}#{}", policy.label(), seed))
+        .collect();
+    let parts: Vec<(RunResult, FlightRecorder)> = ic_par::pool().scatter_gather_traced(
+        tasks,
+        TASK_FLIGHT_CAPACITY,
+        |_, (config, policy, seed), task_flight| {
+            Runner::new(config, policy, seed)
+                .with_flight(task_flight.clone())
+                .run()
+        },
+    );
+    let mut main = flight.borrow_mut();
+    parts
+        .into_iter()
+        .zip(&labels)
+        .map(|((result, recorder), label)| {
+            main.absorb(recorder, label);
+            result
+        })
+        .collect()
 }
 
 /// Sweeps one policy across a grid of auto-scaler configurations on a
@@ -337,6 +430,26 @@ pub fn table11_runs(config: RunnerConfig, seed: u64) -> (RunResult, RunResult, R
         (config.clone(), Policy::OcE, seed),
         (config, Policy::OcA, seed),
     ]);
+    let oc_a = results.pop().expect("three results");
+    let oc_e = results.pop().expect("three results");
+    let baseline = results.pop().expect("three results");
+    (baseline, oc_e, oc_a)
+}
+
+/// [`table11_runs`] with flight recording (see [`run_batch_traced`]).
+pub fn table11_runs_traced(
+    config: RunnerConfig,
+    seed: u64,
+    flight: &FlightHandle,
+) -> (RunResult, RunResult, RunResult) {
+    let mut results = run_batch_traced(
+        vec![
+            (config.clone(), Policy::Baseline, seed),
+            (config.clone(), Policy::OcE, seed),
+            (config, Policy::OcA, seed),
+        ],
+        flight,
+    );
     let oc_a = results.pop().expect("three results");
     let oc_e = results.pop().expect("three results");
     let baseline = results.pop().expect("three results");
@@ -411,6 +524,69 @@ mod tests {
             assert_eq!(a.vm_hours, b.vm_hours);
             assert_eq!(a.completed, b.completed);
             assert_eq!(a.sim_events, b.sim_events);
+        }
+    }
+
+    #[test]
+    fn traced_run_records_windows_phases_and_decisions() {
+        let flight = ic_obs::flight::shared_flight(1 << 16);
+        let cfg = quick_config();
+        let windows = (cfg.duration_s() / cfg.asc.decision_period_s).round() as u64;
+        let r = Runner::new(cfg, Policy::OcA, 3)
+            .with_flight(flight.clone())
+            .run();
+        assert!(r.completed > 0);
+        let rec = flight.borrow();
+        let counts = rec.counts_by_kind();
+        assert_eq!(counts[&("runner", "run")], 1);
+        assert_eq!(counts[&("runner", "step")], windows);
+        assert!(counts.contains_key(&("asc", "scale_out")), "{counts:?}");
+        assert!(counts.contains_key(&("asc", "freq_change")), "{counts:?}");
+        assert!(
+            counts.keys().any(|(target, _)| *target == "engine"),
+            "engine phases missing: {counts:?}"
+        );
+        // The run span self time is fully covered by its step children.
+        assert!(rec.summary().contains("runner"));
+    }
+
+    #[test]
+    fn traced_batch_is_worker_count_invariant() {
+        // In-process variant of the CLI property test: the merged
+        // chrome export must not depend on the worker count. (The
+        // IC_PAR_WORKERS env path is exercised cross-process by
+        // ic-bench's CLI tests — from_env caches the variable once per
+        // process, so it can't be varied in-process.)
+        use ic_par::ParPool;
+        let tasks = || {
+            vec![
+                (quick_config(), Policy::Baseline, 7),
+                (quick_config(), Policy::OcE, 7),
+                (quick_config(), Policy::OcA, 7),
+            ]
+        };
+        let export = |workers: usize| {
+            let flight = ic_obs::flight::shared_flight(1 << 18);
+            let labels = ["baseline#7", "oc-e#7", "oc-a#7"];
+            let parts = ParPool::with_workers(workers).scatter_gather_traced(
+                tasks(),
+                TASK_FLIGHT_CAPACITY,
+                |_, (config, policy, seed), task_flight| {
+                    Runner::new(config, policy, seed)
+                        .with_flight(task_flight.clone())
+                        .run()
+                },
+            );
+            let mut main = flight.borrow_mut();
+            for ((_, rec), label) in parts.into_iter().zip(labels) {
+                main.absorb(rec, label);
+            }
+            main.to_chrome_trace()
+        };
+        let serial = export(1);
+        assert!(serial.contains("baseline#7"));
+        for workers in [2, 7] {
+            assert_eq!(serial, export(workers), "workers={workers}");
         }
     }
 

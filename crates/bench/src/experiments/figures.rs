@@ -2,12 +2,13 @@
 
 use crate::{cell, table};
 use ic_autoscale::policy::Policy;
-use ic_autoscale::runner::{ramp_schedule, run_batch, Runner, RunnerConfig};
+use ic_autoscale::runner::{ramp_schedule, run_batch, run_batch_traced, Runner, RunnerConfig};
 use ic_core::domains::OperatingDomains;
 use ic_core::usecases::buffer::{static_buffer_servers, virtual_buffer_servers};
 use ic_core::usecases::capacity::{CapacitySnapshot, CapacityTimeline};
 use ic_core::usecases::highperf::VmPerformanceClass;
 use ic_core::usecases::packing::plan_packing;
+use ic_obs::flight::FlightHandle;
 use ic_sim::series::merge_csv;
 use ic_workloads::configs::CpuConfig;
 use ic_workloads::gpu::figure11_sweep;
@@ -186,16 +187,39 @@ pub fn fig7() -> String {
 /// Figure 8: the scale-up-then-out timeline — OC-E hides the scale-out
 /// latency, OC-A postpones the scale-out.
 pub fn fig8(quick: bool) -> String {
+    fig8_with(quick, None)
+}
+
+/// [`fig8`] with flight recording: the three policy runs record into
+/// `flight` (submission order, see
+/// [`ic_autoscale::runner::run_batch_traced`]); the rendered figure is
+/// byte-identical to the untraced one. Returns the default line-count
+/// record so traced and untraced `run_all` reports match.
+pub fn fig8_traced(quick: bool, flight: &FlightHandle) -> (u64, Vec<crate::report::Metric>) {
+    let out = fig8_with(quick, Some(flight));
+    (
+        0,
+        vec![crate::report::Metric::new(
+            "output_lines",
+            "count",
+            out.lines().count() as f64,
+        )],
+    )
+}
+
+fn fig8_with(quick: bool, flight: Option<&FlightHandle>) -> String {
     let mut config = RunnerConfig::paper();
     config.schedule = vec![(0.0, 500.0), (300.0, if quick { 900.0 } else { 1000.0 })];
     config.tail_s = 300.0;
     let mut out = String::from("== Figure 8: hiding vs avoiding the scale-out ==\n");
-    let results = run_batch(
-        [Policy::Baseline, Policy::OcE, Policy::OcA]
-            .into_iter()
-            .map(|policy| (config.clone(), policy, 42))
-            .collect(),
-    );
+    let tasks: Vec<_> = [Policy::Baseline, Policy::OcE, Policy::OcA]
+        .into_iter()
+        .map(|policy| (config.clone(), policy, 42))
+        .collect();
+    let results = match flight {
+        Some(flight) => run_batch_traced(tasks, flight),
+        None => run_batch(tasks),
+    };
     for r in results {
         let f_peak = r.frequency_pct.max().unwrap_or(0.0);
         let final_vms = r.vm_count.points().last().map(|&(_, v)| v).unwrap_or(0.0);
@@ -523,12 +547,20 @@ pub fn fig16(quick: bool) -> String {
 /// Runs the Figure 15 validation scenario (OC-A on the
 /// 1000/2000/500/3000/1000 QPS schedule; `quick` halves the dwell).
 fn fig15_run(quick: bool) -> ic_autoscale::runner::RunResult {
+    fig15_run_with(quick, None)
+}
+
+fn fig15_run_with(quick: bool, flight: Option<&FlightHandle>) -> ic_autoscale::runner::RunResult {
     let mut config = RunnerConfig::validation();
     if quick {
         // Halve the dwell to 2.5 minutes.
         config.schedule = config.schedule.iter().map(|&(t, q)| (t / 2.0, q)).collect();
     }
-    Runner::new(config, Policy::OcA, 42).run()
+    let mut runner = Runner::new(config, Policy::OcA, 42);
+    if let Some(flight) = flight {
+        runner = runner.with_flight(flight.clone());
+    }
+    runner.run()
 }
 
 /// The Figure 15 validation invariant, exposed for tests: at every
@@ -562,8 +594,25 @@ fn fig15_invariant_holds(r: &ic_autoscale::runner::RunResult) -> bool {
 /// Structured Figure 15 record: Equation 1 validation outcome plus the
 /// run's simulation-event count, for `run_all --json`.
 pub fn fig15_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
+    fig15_record_with(quick, None)
+}
+
+/// [`fig15_record`] with flight recording: the validation run records
+/// its windows, engine phases, and frequency decisions into `flight`
+/// directly (single run — no batch merge involved).
+pub fn fig15_record_traced(
+    quick: bool,
+    flight: &FlightHandle,
+) -> (u64, Vec<crate::report::Metric>) {
+    fig15_record_with(quick, Some(flight))
+}
+
+fn fig15_record_with(
+    quick: bool,
+    flight: Option<&FlightHandle>,
+) -> (u64, Vec<crate::report::Metric>) {
     use crate::report::Metric;
-    let r = fig15_run(quick);
+    let r = fig15_run_with(quick, flight);
     let holds = fig15_invariant_holds(&r);
     let metrics = vec![
         Metric::with_paper(
@@ -585,6 +634,22 @@ pub fn fig15_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
 /// policy plus the combined simulation-event count, for
 /// `run_all --json`.
 pub fn fig16_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
+    fig16_record_with(quick, None)
+}
+
+/// [`fig16_record`] with flight recording (see
+/// [`ic_autoscale::runner::run_batch_traced`]).
+pub fn fig16_record_traced(
+    quick: bool,
+    flight: &FlightHandle,
+) -> (u64, Vec<crate::report::Metric>) {
+    fig16_record_with(quick, Some(flight))
+}
+
+fn fig16_record_with(
+    quick: bool,
+    flight: Option<&FlightHandle>,
+) -> (u64, Vec<crate::report::Metric>) {
     use crate::report::Metric;
     let mut config = RunnerConfig::paper();
     if quick {
@@ -592,12 +657,14 @@ pub fn fig16_record(quick: bool) -> (u64, Vec<crate::report::Metric>) {
     }
     let mut sim_events = 0;
     let mut metrics = Vec::new();
-    let results = run_batch(
-        [Policy::Baseline, Policy::OcE, Policy::OcA]
-            .into_iter()
-            .map(|policy| (config.clone(), policy, 42))
-            .collect(),
-    );
+    let tasks: Vec<_> = [Policy::Baseline, Policy::OcE, Policy::OcA]
+        .into_iter()
+        .map(|policy| (config.clone(), policy, 42))
+        .collect();
+    let results = match flight {
+        Some(flight) => run_batch_traced(tasks, flight),
+        None => run_batch(tasks),
+    };
     for r in results {
         sim_events += r.sim_events;
         metrics.push(Metric::new(

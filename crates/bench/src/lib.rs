@@ -32,6 +32,7 @@
 //! | `fig15_validation` | Figure 15 — Equation 1 validation trace |
 //! | `fig16_utilization` | Figure 16 — policy utilization traces |
 
+pub mod check;
 pub mod experiments;
 pub mod registry;
 pub mod report;

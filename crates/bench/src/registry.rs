@@ -11,6 +11,8 @@
 
 use crate::experiments::{figures, tables};
 use crate::report::{ExperimentRecord, Metric};
+use ic_obs::flight::FlightHandle;
+use ic_obs::trace::TraceLevel;
 use ic_par::ParPool;
 use ic_scenario::Scenario;
 use std::fmt;
@@ -74,10 +76,57 @@ pub trait Experiment: Sync {
             metrics,
         }
     }
+
+    /// [`measure`](Self::measure) with a flight recorder available.
+    /// Experiments without flight instrumentation fall through to the
+    /// plain measurement; either way the returned record must be
+    /// byte-identical to the untraced one (tracing is a side channel).
+    fn measure_traced(
+        &self,
+        scenario: &Scenario,
+        mode: Mode,
+        flight: &FlightHandle,
+    ) -> (u64, Vec<Metric>) {
+        let _ = flight;
+        self.measure(scenario, mode)
+    }
+
+    /// [`run`](Self::run) with flight recording: wraps the measurement
+    /// in a `bench`/`<id>` span closing at the recorder's latest
+    /// simulation time, so every run's internal spans nest under one
+    /// experiment-level span.
+    fn run_traced(
+        &self,
+        scenario: &Scenario,
+        mode: Mode,
+        flight: &FlightHandle,
+    ) -> ExperimentRecord {
+        let started = Instant::now();
+        let token = flight
+            .borrow_mut()
+            .open("bench", self.id(), TraceLevel::Info, vec![]);
+        let (sim_events, metrics) = self.measure_traced(scenario, mode, flight);
+        if let Some(token) = token {
+            let mut f = flight.borrow_mut();
+            let end = f.max_end();
+            f.close_at(token, end);
+        }
+        ExperimentRecord {
+            id: self.id(),
+            title: self.title().to_string(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            sim_events,
+            metrics,
+        }
+    }
 }
 
 /// A metrics hook: simulation-event count plus paper-anchored metrics.
 type MetricsFn = fn(&Scenario, Mode) -> (u64, Vec<Metric>);
+
+/// A metrics hook that also records spans into a flight recorder. The
+/// returned numbers must be byte-identical to the plain [`MetricsFn`]'s.
+type TracedMetricsFn = fn(&Scenario, Mode, &FlightHandle) -> (u64, Vec<Metric>);
 
 /// A registry entry built from plain function pointers.
 #[derive(Debug)]
@@ -88,6 +137,9 @@ pub struct FnExperiment {
     /// `Some` for experiments with paper-anchored structured metrics;
     /// `None` falls back to the line-count default.
     metrics: Option<MetricsFn>,
+    /// `Some` for simulation-backed experiments instrumented for the
+    /// flight recorder; `None` falls back to the untraced measurement.
+    traced: Option<TracedMetricsFn>,
 }
 
 impl Experiment for FnExperiment {
@@ -116,6 +168,17 @@ impl Experiment for FnExperiment {
             }
         }
     }
+    fn measure_traced(
+        &self,
+        scenario: &Scenario,
+        mode: Mode,
+        flight: &FlightHandle,
+    ) -> (u64, Vec<Metric>) {
+        match self.traced {
+            Some(f) => f(scenario, mode, flight),
+            None => self.measure(scenario, mode),
+        }
+    }
 }
 
 /// All experiments in paper order.
@@ -125,138 +188,161 @@ static REGISTRY: [FnExperiment; 23] = [
         title: "Table I: cooling technologies",
         render: |_, _| tables::table1(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "table2",
         title: "Table II: dielectric fluids",
         render: |s, _| tables::table2(s),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "table3",
         title: "Table III: max turbo, air vs 2PIC",
         render: |s, _| tables::table3(s),
         metrics: Some(|s, _| (0, tables::table3_metrics(s))),
+        traced: None,
     },
     FnExperiment {
         id: "table4",
         title: "Table IV: failure-mode dependencies",
         render: |s, _| tables::table4(s),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "table5",
         title: "Table V: projected lifetime",
         render: |s, _| tables::table5(s),
         metrics: Some(|s, _| (0, tables::table5_metrics(s))),
+        traced: None,
     },
     FnExperiment {
         id: "table6",
         title: "Table VI: TCO analysis",
         render: |_, _| tables::table6(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "table7",
         title: "Table VII: CPU frequency configurations",
         render: |s, _| tables::table7(s),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "table8",
         title: "Table VIII: GPU configurations",
         render: |s, _| tables::table8(s),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "table9",
         title: "Table IX: applications",
         render: |s, _| tables::table9(s),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig4",
         title: "Figure 4: operating domains",
         render: |_, _| figures::fig4(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig5",
         title: "Figure 5: high-performance VM classes",
         render: |_, _| figures::fig5(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig6",
         title: "Figure 6: static vs virtual buffers",
         render: |_, _| figures::fig6(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig7",
         title: "Figure 7: capacity crisis",
         render: |_, _| figures::fig7(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig9",
         title: "Figure 9: cloud workloads under overclocking",
         render: |_, _| figures::fig9(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig10",
         title: "Figure 10: STREAM bandwidth",
         render: |_, _| figures::fig10(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig11",
         title: "Figure 11: VGG training under GPU overclocking",
         render: |_, _| figures::fig11(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig12",
         title: "Figure 12: SQL P95 vs pcores",
         render: |_, _| figures::fig12(),
         metrics: Some(|_, _| (0, figures::fig12_metrics())),
+        traced: None,
     },
     FnExperiment {
         id: "fig13",
         title: "Figure 13 / Table X: oversubscription",
         render: |_, _| figures::fig13(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig8",
         title: "Figure 8: hiding vs avoiding the scale-out",
         render: |_, m| figures::fig8(m.is_quick()),
         metrics: None,
+        traced: Some(|_, m, f| figures::fig8_traced(m.is_quick(), f)),
     },
     FnExperiment {
         id: "fig14",
         title: "Figure 14: auto-scaling architecture",
         render: |_, _| figures::fig14(),
         metrics: None,
+        traced: None,
     },
     FnExperiment {
         id: "fig15",
         title: "Figure 15: Equation 1 validation",
         render: |_, m| figures::fig15(m.is_quick()),
         metrics: Some(|_, m| figures::fig15_record(m.is_quick())),
+        traced: Some(|_, m, f| figures::fig15_record_traced(m.is_quick(), f)),
     },
     FnExperiment {
         id: "fig16",
         title: "Figure 16: utilization under the three policies",
         render: |_, m| figures::fig16(m.is_quick()),
         metrics: Some(|_, m| figures::fig16_record(m.is_quick())),
+        traced: Some(|_, m, f| figures::fig16_record_traced(m.is_quick(), f)),
     },
     FnExperiment {
         id: "table11",
         title: "Table XI: auto-scaler comparison",
         render: |_, m| tables::table11(m.is_quick()),
         metrics: Some(|_, m| tables::table11_record(m.is_quick())),
+        traced: Some(|_, m, f| tables::table11_record_traced(m.is_quick(), f)),
     },
 ];
 
@@ -358,6 +444,39 @@ pub fn run_selected(
     }))
 }
 
+/// Ring capacity for each experiment's private flight recorder. Large
+/// enough that a full `--quick` sweep keeps every span; overflow is
+/// reported (not silently lost) via the merged recorder's drop counter.
+const EXPERIMENT_FLIGHT_CAPACITY: usize = 1 << 18;
+
+/// [`run_selected`] with flight recording: each experiment records into
+/// a private recorder (so parallel workers never contend), and the
+/// recorders are absorbed into `flight` in registration order — the
+/// merged trace is byte-identical for every `jobs` value. The records
+/// themselves match the untraced ones modulo `wall_ms`.
+pub fn run_selected_traced(
+    scenario: &Scenario,
+    mode: Mode,
+    jobs: usize,
+    only: Option<&[String]>,
+    flight: &FlightHandle,
+) -> Result<Vec<ExperimentRecord>, UnknownExperiment> {
+    let selected = select(only)?;
+    let n = selected.len();
+    let results = ParPool::with_workers(jobs.clamp(1, n.max(1))).scatter_gather_traced(
+        (0..n).collect(),
+        EXPERIMENT_FLIGHT_CAPACITY,
+        |_, i, task_flight| selected[i].run_traced(scenario, mode, task_flight),
+    );
+    let mut merged = flight.borrow_mut();
+    let mut records = Vec::with_capacity(n);
+    for ((record, task_flight), exp) in results.into_iter().zip(&selected) {
+        merged.absorb(task_flight, exp.id());
+        records.push(record);
+    }
+    Ok(records)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +525,34 @@ mod tests {
         assert_eq!(rec.id, "table3");
         assert!(rec.wall_ms >= 0.0);
         assert_eq!(run_one("nope", &s, Mode::Quick).unwrap_err().id, "nope");
+    }
+
+    #[test]
+    fn traced_records_match_untraced_and_merged_trace_is_jobs_invariant() {
+        let s = Scenario::paper();
+        // fig8 is flight-instrumented; table3 exercises the untraced
+        // fallback inside the traced fan-out.
+        let only = vec!["table3".to_string(), "fig8".to_string()];
+        let plain = run_selected(&s, Mode::Quick, 1, Some(&only)).unwrap();
+        let mut exports = Vec::new();
+        for jobs in [1usize, 2, 7] {
+            let flight = ic_obs::flight::shared_flight(EXPERIMENT_FLIGHT_CAPACITY);
+            let traced = run_selected_traced(&s, Mode::Quick, jobs, Some(&only), &flight).unwrap();
+            assert_eq!(plain.len(), traced.len());
+            for (a, b) in plain.iter().zip(&traced) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.sim_events, b.sim_events);
+                assert_eq!(a.metrics, b.metrics, "tracing must not change {}", a.id);
+            }
+            let f = flight.borrow();
+            assert_eq!(f.dropped(), 0);
+            let counts = f.counts_by_kind();
+            assert!(counts.contains_key(&("bench", "table3")));
+            assert!(counts.contains_key(&("bench", "fig8")));
+            exports.push(f.to_chrome_trace());
+        }
+        assert_eq!(exports[0], exports[1], "jobs=1 vs jobs=2");
+        assert_eq!(exports[0], exports[2], "jobs=1 vs jobs=7");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::placement::{Oversubscription, PlacementPolicy};
 use crate::server::{Server, ServerSpec};
 use crate::vm::{VmId, VmInstance, VmSpec};
+use ic_obs::flight::FlightHandle;
 use ic_obs::json::Value;
 use ic_obs::trace::{TraceHandle, TraceLevel};
 use ic_sim::time::SimTime;
@@ -53,6 +54,7 @@ pub struct Cluster {
     oversub: Oversubscription,
     next_id: u64,
     trace: Option<TraceHandle>,
+    flight: Option<FlightHandle>,
     clock: SimTime,
 }
 
@@ -71,6 +73,7 @@ impl Cluster {
             oversub,
             next_id: 0,
             trace: None,
+            flight: None,
             clock: SimTime::ZERO,
         }
     }
@@ -96,7 +99,20 @@ impl Cluster {
         self.trace.as_ref()
     }
 
+    /// Attaches a flight recorder: every emitted cluster event —
+    /// placement, deletion, failover migration, server failure/repair —
+    /// is mirrored as an instant on the flight timeline at the cluster's
+    /// clock, alongside any [`attach_trace`](Self::attach_trace) stream.
+    pub fn attach_flight(&mut self, flight: FlightHandle) {
+        self.flight = Some(flight);
+    }
+
     fn emit(&self, level: TraceLevel, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if let Some(flight) = &self.flight {
+            flight
+                .borrow_mut()
+                .instant_at(self.clock, "cluster", kind, level, fields.clone());
+        }
         if let Some(trace) = &self.trace {
             trace
                 .borrow_mut()
@@ -505,6 +521,32 @@ mod tests {
             .all(|e| e.level == TraceLevel::Warn));
         // Timestamps come from the driver-maintained clock.
         assert!(rec.events().any(|e| e.sim_time == SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn flight_mirror_matches_trace_stream() {
+        use ic_obs::flight::shared_flight;
+        use ic_obs::trace::shared_recorder;
+
+        let trace = shared_recorder(64);
+        let flight = shared_flight(64);
+        let mut c = cluster(2, 16, 1.0);
+        c.attach_trace(trace.clone());
+        c.attach_flight(flight.clone());
+        c.set_clock(SimTime::from_secs(10));
+        let a = c.create_vm(VmSpec::new(8, 8.0)).unwrap();
+        c.set_clock(SimTime::from_secs(20));
+        c.delete_vm(a).unwrap();
+
+        // The flight instants mirror the trace events one-for-one.
+        assert_eq!(
+            flight.borrow().counts_by_kind(),
+            trace.borrow().counts_by_kind()
+        );
+        let rec = flight.borrow();
+        let delete = rec.spans().find(|s| s.name == "vm_delete").unwrap();
+        assert_eq!(delete.start, SimTime::from_secs(20));
+        assert_eq!(delete.kind, ic_obs::flight::SpanKind::Instant);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! this observer stamps its own [`Instant`] in `on_event_start` and
 //! measures the elapsed time when the post-event record arrives.
 
+use crate::flight::FlightHandle;
 use crate::metrics::MetricsHandle;
 use ic_sim::observe::{EngineObserver, EventRecord};
 use std::time::Instant;
@@ -89,9 +90,40 @@ impl EngineObserver for EngineMetrics {
     }
 }
 
+/// An [`EngineObserver`] that feeds the flight recorder's per-event-kind
+/// phase accumulator: one [`FlightRecorder::phase_event`] call per
+/// executed event, stamped with the *simulation* clock (never wall
+/// clock, so traces stay byte-reproducible). The driver holding the same
+/// [`FlightHandle`] calls `flush_phases` at window boundaries to turn
+/// the accumulation into one coalesced span per event kind.
+///
+/// [`FlightRecorder::phase_event`]: crate::flight::FlightRecorder::phase_event
+pub struct EngineSpans {
+    flight: FlightHandle,
+    /// The phase target label, e.g. `"engine"`.
+    target: &'static str,
+}
+
+impl EngineSpans {
+    /// Creates an observer accumulating phases under `target` (use
+    /// `"engine"` unless several engines share one recorder).
+    pub fn new(flight: FlightHandle, target: &'static str) -> Self {
+        EngineSpans { flight, target }
+    }
+}
+
+impl EngineObserver for EngineSpans {
+    fn on_event(&mut self, record: &EventRecord) {
+        self.flight
+            .borrow_mut()
+            .phase_event(self.target, record.kind, record.at);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flight::shared_flight;
     use crate::metrics::shared_registry;
     use ic_sim::engine::Engine;
     use ic_sim::time::{SimDuration, SimTime};
@@ -135,5 +167,32 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert_eq!(total, engine.events_processed());
+    }
+
+    #[test]
+    fn engine_spans_accumulate_phases_by_kind() {
+        let flight = shared_flight(1024);
+        let mut engine: Engine<u32> = Engine::new();
+        engine.set_observer(Box::new(EngineSpans::new(flight.clone(), "engine")));
+        engine.schedule_labeled(SimTime::from_secs(1), "arrival", |c, e| {
+            *c += 1;
+            e.schedule_in_labeled(SimDuration::from_secs(1), "departure", |c, _| *c += 1);
+        });
+        engine.schedule_labeled(SimTime::from_secs(5), "arrival", |c, _| *c += 1);
+        let mut count = 0;
+        engine.run(&mut count);
+        flight.borrow_mut().flush_phases();
+
+        let rec = flight.borrow();
+        let counts = rec.counts_by_kind();
+        assert_eq!(counts[&("engine", "arrival")], 1, "one coalesced span");
+        assert_eq!(counts[&("engine", "departure")], 1);
+        let arrival = rec
+            .spans()
+            .find(|s| s.name == "arrival")
+            .expect("arrival phase span");
+        assert_eq!(arrival.start, SimTime::from_secs(1));
+        assert_eq!(arrival.end, SimTime::from_secs(5));
+        assert_eq!(arrival.fields, vec![("events", crate::json::Value::U64(2))]);
     }
 }

@@ -100,6 +100,12 @@ pub fn write_f64(v: f64, out: &mut String) {
 }
 
 /// Appends `s` as a quoted, escaped JSON string.
+///
+/// Escaping rules: the two mandatory characters (`"` and `\`), the
+/// common control shorthands (`\n`, `\r`, `\t`), `\uXXXX` for the
+/// remaining C0 controls **and** DEL (`\u{7f}`) — raw DEL is legal JSON
+/// but trips naive line-oriented consumers — and everything else,
+/// including astral-plane characters, verbatim as UTF-8.
 pub fn write_escaped(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -109,7 +115,7 @@ pub fn write_escaped(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -154,6 +160,34 @@ mod tests {
         assert_eq!(Value::str("a\"b\\c\n").to_json(), "\"a\\\"b\\\\c\\n\"");
         assert_eq!(Value::str("\u{1}").to_json(), "\"\\u0001\"");
         assert_eq!(Value::str("héllo").to_json(), "\"héllo\"");
+    }
+
+    #[test]
+    fn every_c0_control_and_del_escape_as_u_sequences() {
+        for cp in (0u32..0x20).chain([0x7f]) {
+            let c = char::from_u32(cp).unwrap();
+            let enc = Value::str(c.to_string()).to_json();
+            assert!(
+                !enc.chars().any(|c| c.is_control()),
+                "raw control {cp:#04x} leaked into {enc:?}"
+            );
+            match c {
+                '\n' => assert_eq!(enc, "\"\\n\""),
+                '\r' => assert_eq!(enc, "\"\\r\""),
+                '\t' => assert_eq!(enc, "\"\\t\""),
+                _ => assert_eq!(enc, format!("\"\\u{cp:04x}\"")),
+            }
+        }
+    }
+
+    #[test]
+    fn astral_plane_and_bmp_unicode_pass_through_raw() {
+        // Raw (unescaped) non-ASCII is valid JSON; the encoder never
+        // uses surrogate-pair escapes, keeping output bytes == input
+        // bytes for printable text.
+        for s in ["🦀", "𝒳", "\u{10FFFF}", "中文", "\u{80}", "\u{9f}"] {
+            assert_eq!(Value::str(s).to_json(), format!("\"{s}\""));
+        }
     }
 
     #[test]

@@ -14,12 +14,34 @@
 //!   [`trace::TraceEvent`]s keyed by simulation time plus a recorder
 //!   sequence number (never wall clock — two same-seed runs produce
 //!   byte-identical output), with JSONL and CSV sinks.
+//! * [`flight`] — the flight recorder: deterministic *hierarchical*
+//!   spans ([`flight::FlightRecorder`] + the [`flight::SpanGuard`] RAII
+//!   API) with per-event-kind engine phases, submission-order merging of
+//!   parallel sweep tasks, and three exporters — Chrome Trace Event JSON
+//!   (loadable in Perfetto / `chrome://tracing`), JSONL, and a human
+//!   self-time summary table backed by [`ic_sim::hist::LogHistogram`].
 //! * [`engine_obs`] — adapters implementing
 //!   [`ic_sim::observe::EngineObserver`] so the discrete-event engine
-//!   feeds the registry without `ic-sim` depending on this crate.
+//!   feeds the registry ([`engine_obs::EngineMetrics`]) or the flight
+//!   recorder ([`engine_obs::EngineSpans`]) without `ic-sim` depending
+//!   on this crate.
 //!
 //! Everything is single-threaded (like the simulator) and heap-bounded;
 //! the only dependency besides `ic-sim` is the serde facade.
+//!
+//! # Environment: `IC_OBS_LEVEL`
+//!
+//! The `IC_OBS_LEVEL` environment variable ([`trace::LEVEL_ENV`]) sets
+//! the minimum recorded severity — `error`, `warn`, `info`, or `debug`
+//! (case-insensitive) — for every recorder built through a `from_env`
+//! constructor: [`trace::TraceRecorder::from_env`],
+//! [`flight::FlightRecorder::from_env`], and
+//! [`flight::shared_flight_from_env`]. Unset or unparseable values keep
+//! each recorder's default (`debug`: record everything). Hot loops can
+//! therefore emit debug-level events unconditionally; a production run
+//! sets `IC_OBS_LEVEL=info` and pays neither memory nor serialization
+//! cost for them — suppressed events consume no sequence numbers, so a
+//! filtered run is still byte-deterministic.
 //!
 //! # Example
 //!
@@ -42,11 +64,16 @@
 //! ```
 
 pub mod engine_obs;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
-pub use engine_obs::EngineMetrics;
+pub use engine_obs::{EngineMetrics, EngineSpans};
+pub use flight::{
+    shared_flight, shared_flight_from_env, FlightHandle, FlightRecorder, Span, SpanGuard, SpanKind,
+    SpanToken,
+};
 pub use json::Value;
 pub use metrics::{shared_registry, MetricsHandle, MetricsRegistry};
 pub use trace::{shared_recorder, TraceEvent, TraceHandle, TraceLevel, TraceRecorder};

@@ -18,7 +18,7 @@ use std::rc::Rc;
 
 /// Event severity. `Debug` is for per-step records (high volume);
 /// `Info` for state transitions; `Warn` for anomalies (rejections,
-/// failovers, budget violations).
+/// failovers, budget violations); `Error` for invariant breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TraceLevel {
     /// High-volume per-step records.
@@ -27,7 +27,15 @@ pub enum TraceLevel {
     Info,
     /// Anomalies: rejections, failures, budget violations.
     Warn,
+    /// Invariant violations — a run that emits one is suspect.
+    Error,
 }
+
+/// The environment variable read by [`TraceLevel::from_env`],
+/// [`TraceRecorder::from_env`], and the flight recorder's
+/// `from_env` constructors: set to `error`, `warn`, `info`, or `debug`
+/// to choose the minimum recorded level.
+pub const LEVEL_ENV: &str = "IC_OBS_LEVEL";
 
 impl TraceLevel {
     /// The lowercase name used in serialized output.
@@ -36,7 +44,27 @@ impl TraceLevel {
             TraceLevel::Debug => "debug",
             TraceLevel::Info => "info",
             TraceLevel::Warn => "warn",
+            TraceLevel::Error => "error",
         }
+    }
+
+    /// Parses a level name (case-insensitive): `error`, `warn`, `info`,
+    /// or `debug`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(TraceLevel::Debug),
+            "info" => Some(TraceLevel::Info),
+            "warn" | "warning" => Some(TraceLevel::Warn),
+            "error" => Some(TraceLevel::Error),
+            _ => None,
+        }
+    }
+
+    /// The level named by the `IC_OBS_LEVEL` environment variable, or
+    /// `None` when the variable is unset or unparseable (callers keep
+    /// their default).
+    pub fn from_env() -> Option<Self> {
+        std::env::var(LEVEL_ENV).ok().and_then(|s| Self::parse(&s))
     }
 }
 
@@ -141,6 +169,18 @@ impl TraceRecorder {
             dropped: 0,
             min_level: TraceLevel::Debug,
         }
+    }
+
+    /// Like [`new`](Self::new), but the minimum level comes from the
+    /// `IC_OBS_LEVEL` environment variable (`error`/`warn`/`info`/
+    /// `debug`); unset or unparseable keeps the `Debug` default, so
+    /// existing callers see no behavior change.
+    pub fn from_env(capacity: usize) -> Self {
+        let mut rec = Self::new(capacity);
+        if let Some(level) = TraceLevel::from_env() {
+            rec.set_min_level(level);
+        }
+        rec
     }
 
     /// Suppresses events below `level` (they consume no sequence
@@ -355,6 +395,33 @@ mod tests {
         let keys: Vec<_> = counts.keys().collect();
         assert_eq!(keys, vec![&("test", "a"), &("test", "b")]);
         assert_eq!(counts[&("test", "a")], 2);
+    }
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(TraceLevel::parse("DEBUG"), Some(TraceLevel::Debug));
+        assert_eq!(TraceLevel::parse(" info "), Some(TraceLevel::Info));
+        assert_eq!(TraceLevel::parse("warning"), Some(TraceLevel::Warn));
+        assert_eq!(TraceLevel::parse("error"), Some(TraceLevel::Error));
+        assert_eq!(TraceLevel::parse("loud"), None);
+        assert!(TraceLevel::Error > TraceLevel::Warn);
+        assert!(TraceLevel::Warn > TraceLevel::Info);
+        assert!(TraceLevel::Info > TraceLevel::Debug);
+        assert_eq!(TraceLevel::Error.name(), "error");
+    }
+
+    #[test]
+    fn error_level_filter_keeps_only_errors() {
+        let mut rec = TraceRecorder::new(8);
+        rec.set_min_level(TraceLevel::Error);
+        assert_eq!(
+            rec.emit(SimTime::ZERO, "t", TraceLevel::Warn, "odd", vec![]),
+            None
+        );
+        assert_eq!(
+            rec.emit(SimTime::ZERO, "t", TraceLevel::Error, "bad", vec![]),
+            Some(0)
+        );
     }
 
     #[test]

@@ -28,8 +28,10 @@
 //! assert_eq!(squares[7], 49); // submission order, whatever ran first
 //! ```
 
+use ic_obs::flight::{shared_flight, FlightRecorder};
 use ic_sim::rng::SimRng;
 use std::collections::VecDeque;
+use std::rc::Rc;
 use std::sync::Mutex;
 use std::sync::OnceLock;
 
@@ -159,6 +161,42 @@ impl ParPool {
             .map(|s| s.expect("every task produces a result"))
             .collect()
     }
+
+    /// [`scatter_gather`](Self::scatter_gather) with per-task flight
+    /// recording: each task gets a fresh [`FlightRecorder`] of
+    /// `capacity` records (level-filtered via `IC_OBS_LEVEL`) and its
+    /// finished recorder rides back with its result — **in submission
+    /// order**, like the results themselves. Callers typically
+    /// [`absorb`](FlightRecorder::absorb) the recorders into one main
+    /// recorder in that order, which is what makes the merged trace
+    /// byte-identical for any worker count.
+    ///
+    /// The recorder handle is task-local (`Rc`, not `Arc`): tasks must
+    /// not leak clones of it past their own return, which the
+    /// `Rc::try_unwrap` below enforces.
+    pub fn scatter_gather_traced<T, R, F>(
+        &self,
+        tasks: Vec<T>,
+        capacity: usize,
+        run: F,
+    ) -> Vec<(R, FlightRecorder)>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T, &ic_obs::flight::FlightHandle) -> R + Sync,
+    {
+        self.scatter_gather(tasks, |i, task| {
+            let flight = shared_flight(capacity);
+            if let Some(level) = ic_obs::trace::TraceLevel::from_env() {
+                flight.borrow_mut().set_min_level(level);
+            }
+            let result = run(i, task, &flight);
+            let recorder = Rc::try_unwrap(flight)
+                .expect("task leaked its FlightHandle")
+                .into_inner();
+            (result, recorder)
+        })
+    }
 }
 
 /// The process-default pool (see [`ParPool::from_env`]).
@@ -238,6 +276,40 @@ mod tests {
         assert_eq!(ParPool::with_workers(0).workers(), 1);
         let out = ParPool::with_workers(0).scatter_gather(vec![1, 2, 3], |_, x| x * 2);
         assert_eq!(out, [2, 4, 6]);
+    }
+
+    #[test]
+    fn traced_scatter_gather_is_worker_count_invariant() {
+        use ic_obs::flight::FlightRecorder;
+        use ic_obs::trace::TraceLevel;
+        use ic_sim::time::SimTime;
+
+        let run = |i: usize, x: u64, flight: &ic_obs::flight::FlightHandle| {
+            let mut f = flight.borrow_mut();
+            let tok = f
+                .open_at(SimTime::ZERO, "task", "run", TraceLevel::Info, vec![])
+                .unwrap();
+            f.close_at(tok, SimTime::from_secs(x + 1));
+            drop(f);
+            skewed(i, x)
+        };
+        let merge = |parts: Vec<(u64, FlightRecorder)>| {
+            let mut main = FlightRecorder::new(1 << 12);
+            for (i, (_, rec)) in parts.into_iter().enumerate() {
+                main.absorb(rec, &format!("task{i}"));
+            }
+            main.to_chrome_trace()
+        };
+        let tasks: Vec<u64> = (0..20).collect();
+        let serial = merge(ParPool::with_workers(1).scatter_gather_traced(tasks.clone(), 256, run));
+        for workers in [2, 7] {
+            let parallel = merge(ParPool::with_workers(workers).scatter_gather_traced(
+                tasks.clone(),
+                256,
+                run,
+            ));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
     }
 
     #[test]

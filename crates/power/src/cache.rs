@@ -27,6 +27,10 @@ use std::collections::HashMap;
 
 use crate::cpu::{CpuSku, SteadyState};
 use crate::units::{Frequency, Voltage, BIN_MHZ};
+use ic_obs::flight::FlightHandle;
+use ic_obs::json::Value;
+use ic_obs::metrics::MetricsRegistry;
+use ic_obs::trace::TraceLevel;
 use ic_thermal::junction::ThermalInterface;
 
 /// The memo key: every input the fixed point depends on, quantized to
@@ -86,6 +90,9 @@ pub struct SteadyStateCache {
     map: RefCell<HashMap<OperatingPointKey, SteadyState>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
+    /// Optional flight recorder for hit/miss instants (attached by
+    /// tracing drivers; `None` costs one branch per lookup).
+    flight: RefCell<Option<FlightHandle>>,
 }
 
 impl SteadyStateCache {
@@ -106,11 +113,31 @@ impl SteadyStateCache {
         let key = OperatingPointKey::new(sku, iface, f, v);
         if let Some(&ss) = self.map.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            if let Some(flight) = self.flight.borrow().as_ref() {
+                flight.borrow_mut().instant(
+                    "steady_cache",
+                    "hit",
+                    TraceLevel::Debug,
+                    vec![("mhz", Value::U64(f.mhz() as u64))],
+                );
+            }
             return ss;
         }
         let ss = sku.steady_state(iface, f, v);
         self.misses.set(self.misses.get() + 1);
         self.map.borrow_mut().insert(key, ss);
+        if let Some(flight) = self.flight.borrow().as_ref() {
+            flight.borrow_mut().instant(
+                "steady_cache",
+                "miss_solve_insert",
+                TraceLevel::Info,
+                vec![
+                    ("mhz", Value::U64(f.mhz() as u64)),
+                    ("mv", Value::U64(v.mv() as u64)),
+                    ("size", Value::U64(self.map.borrow().len() as u64)),
+                ],
+            );
+        }
         ss
     }
 
@@ -172,6 +199,31 @@ impl SteadyStateCache {
         self.map.borrow_mut().clear();
         self.hits.set(0);
         self.misses.set(0);
+    }
+
+    /// Attaches a flight recorder: subsequent lookups record a
+    /// `steady_cache`/`hit` instant (`Debug`) on the memo path and a
+    /// `steady_cache`/`miss_solve_insert` instant (`Info`, with the
+    /// operating point and the post-insert size) on the solve path,
+    /// stamped at the recorder's current simulation time.
+    pub fn attach_flight(&self, flight: FlightHandle) {
+        *self.flight.borrow_mut() = Some(flight);
+    }
+
+    /// Detaches the flight recorder (lookups go back to counting only).
+    pub fn detach_flight(&self) {
+        *self.flight.borrow_mut() = None;
+    }
+
+    /// Publishes the cache's state into `metrics` as gauges:
+    /// `steady_cache_hits`, `steady_cache_misses`,
+    /// `steady_cache_hit_rate` (matching [`hit_rate`](Self::hit_rate)
+    /// exactly), and `steady_cache_size`.
+    pub fn export_metrics(&self, metrics: &mut MetricsRegistry) {
+        metrics.gauge_set("steady_cache_hits", self.hits.get() as f64);
+        metrics.gauge_set("steady_cache_misses", self.misses.get() as f64);
+        metrics.gauge_set("steady_cache_hit_rate", self.hit_rate());
+        metrics.gauge_set("steady_cache_size", self.len() as f64);
     }
 }
 
@@ -383,6 +435,51 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn exported_gauges_match_counters_and_hit_rate() {
+        let cache = SteadyStateCache::new();
+        let sku = CpuSku::skylake_8180();
+        let iface = ThermalInterface::air(35.0, 12.1, 0.21);
+        // 1 miss + 3 hits on one point, 1 miss on another: rate 3/5.
+        for _ in 0..4 {
+            cache.steady_state(&sku, &iface, sku.base(), sku.nominal_voltage());
+        }
+        cache.steady_state(&sku, &iface, sku.air_turbo(), sku.nominal_voltage());
+
+        let mut metrics = MetricsRegistry::new();
+        cache.export_metrics(&mut metrics);
+        assert_eq!(metrics.gauge("steady_cache_hits"), Some(3.0));
+        assert_eq!(metrics.gauge("steady_cache_misses"), Some(2.0));
+        assert_eq!(
+            metrics.gauge("steady_cache_hit_rate"),
+            Some(cache.hit_rate())
+        );
+        assert_eq!(metrics.gauge("steady_cache_hit_rate"), Some(0.6));
+        assert_eq!(metrics.gauge("steady_cache_size"), Some(2.0));
+    }
+
+    #[test]
+    fn attached_flight_records_hit_and_miss_instants() {
+        let cache = SteadyStateCache::new();
+        let flight = ic_obs::flight::shared_flight(1024);
+        cache.attach_flight(flight.clone());
+        let sku = CpuSku::skylake_8180();
+        let iface = ThermalInterface::air(35.0, 12.1, 0.21);
+        cache.steady_state(&sku, &iface, sku.base(), sku.nominal_voltage());
+        cache.steady_state(&sku, &iface, sku.base(), sku.nominal_voltage());
+
+        let counts = flight.borrow().counts_by_kind();
+        assert_eq!(counts[&("steady_cache", "miss_solve_insert")], 1);
+        assert_eq!(counts[&("steady_cache", "hit")], 1);
+
+        cache.detach_flight();
+        cache.steady_state(&sku, &iface, sku.base(), sku.nominal_voltage());
+        assert_eq!(
+            flight.borrow().counts_by_kind()[&("steady_cache", "hit")],
+            1
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use immersion_cloud::autoscale::policy::Policy;
 use immersion_cloud::autoscale::runner::{ramp_schedule, Runner, RunnerConfig};
-use immersion_cloud::obs::{shared_recorder, shared_registry, TraceHandle};
+use immersion_cloud::obs::{shared_flight, shared_recorder, shared_registry, TraceHandle};
 
 fn short_config() -> RunnerConfig {
     let mut config = RunnerConfig::paper();
@@ -57,6 +57,41 @@ fn different_seeds_diverge() {
     let (a, _) = traced_run(Policy::OcA, 1);
     let (b, _) = traced_run(Policy::OcA, 2);
     assert_ne!(a.borrow().to_jsonl(), b.borrow().to_jsonl());
+}
+
+fn flight_chrome_export(policy: Policy, seed: u64) -> String {
+    let flight = shared_flight(1 << 16);
+    Runner::new(short_config(), policy, seed)
+        .with_flight(flight.clone())
+        .run();
+    let recorder = flight.borrow();
+    assert!(!recorder.is_empty(), "run must record spans");
+    assert_eq!(
+        recorder.dropped(),
+        0,
+        "ring must not overflow in a short run"
+    );
+    recorder.to_chrome_trace()
+}
+
+#[test]
+fn same_seed_runs_emit_identical_chrome_traces() {
+    let a = flight_chrome_export(Policy::OcA, 42);
+    let b = flight_chrome_export(Policy::OcA, 42);
+    assert_eq!(a, b, "Chrome-trace exports diverged");
+    // The export carries the expected track structure.
+    assert!(a.contains("\"traceEvents\":["));
+    assert!(a.contains("\"displayTimeUnit\":\"ms\""));
+    assert!(a.contains("\"name\":\"run\""));
+}
+
+#[test]
+fn different_seed_flight_traces_diverge() {
+    assert_ne!(
+        flight_chrome_export(Policy::OcA, 1),
+        flight_chrome_export(Policy::OcA, 2),
+        "flight spans must depend on the stochastic workload"
+    );
 }
 
 #[test]
