@@ -2,21 +2,31 @@
 //!
 //! Every decision period the controller samples each server VM's
 //! Aperf/Pperf counters, folds the fleet-average utilization into its
-//! two trailing windows, and issues actions against the
-//! [`ClientServerSim`]: scale-out (after the configured VM-creation
-//! latency), scale-in, and — for the overclocking policies — frequency
-//! changes driven by Equation 1.
+//! two trailing windows, and decides actions: scale-out (after the
+//! configured VM-creation latency), scale-in, and — for the
+//! overclocking policies — frequency changes driven by Equation 1.
+//!
+//! [`AutoScaler`] implements [`ic_controlplane::Controller`]: it reads
+//! the shared [`TelemetrySnapshot`] and returns typed [`Action`]s, so
+//! it runs under the [`ic_controlplane::ControlPlane`] alongside the
+//! governor, capping, and failover controllers. The [`AutoScaler::step`]
+//! entry point drives one observe/apply cycle directly against a
+//! [`ClientServerSim`] for standalone use.
 
 use crate::policy::{AscConfig, Policy, ScalingMetric};
+use ic_controlplane::fleet::{apply_to_sim, sim_complete_scale_out, sim_snapshot};
+use ic_controlplane::{Action, Controller, FreqTarget, Outcome, TelemetrySnapshot};
 use ic_obs::flight::FlightHandle;
 use ic_obs::json::Value;
 use ic_obs::metrics::MetricsHandle;
 use ic_obs::trace::{TraceHandle, TraceLevel};
+use ic_obs::ObsSinks;
 use ic_sim::stats::SlidingWindow;
 use ic_sim::time::{SimDuration, SimTime};
 use ic_telemetry::counters::CounterSample;
 use ic_telemetry::eq1::{min_frequency_for_threshold, predict_utilization};
-use ic_workloads::mgk::{ClientServerSim, VmId};
+use ic_workloads::mgk::ClientServerSim;
+use std::any::Any;
 use std::collections::HashMap;
 
 /// What the controller did in one decision step (for tracing and
@@ -47,15 +57,14 @@ pub struct AutoScaler {
     policy: Policy,
     out_window: SlidingWindow,
     up_window: SlidingWindow,
-    last_samples: HashMap<VmId, CounterSample>,
+    last_samples: HashMap<u64, CounterSample>,
     pending_ready_at: Option<SimTime>,
     last_topology_change: Option<SimTime>,
     current_ratio: f64,
     scale_outs: u32,
     scale_ins: u32,
-    trace: Option<TraceHandle>,
-    metrics: Option<MetricsHandle>,
-    flight: Option<FlightHandle>,
+    last_step: Option<StepTrace>,
+    sinks: ObsSinks,
 }
 
 impl std::fmt::Debug for AutoScaler {
@@ -88,10 +97,15 @@ impl AutoScaler {
             current_ratio: 1.0,
             scale_outs: 0,
             scale_ins: 0,
-            trace: None,
-            metrics: None,
-            flight: None,
+            last_step: None,
+            sinks: ObsSinks::none(),
         }
+    }
+
+    /// Attaches the full observability bundle in one call (see the
+    /// per-sink `attach_*` methods for what each records).
+    pub fn attach_sinks(&mut self, sinks: ObsSinks) {
+        self.sinks = sinks;
     }
 
     /// Attaches a trace recorder: every controller transition —
@@ -99,14 +113,14 @@ impl AutoScaler {
     /// is emitted with its Equation-1 inputs and outputs, and each
     /// decision step leaves a `Debug`-level record.
     pub fn attach_trace(&mut self, trace: TraceHandle) {
-        self.trace = Some(trace);
+        self.sinks.set_trace(trace);
     }
 
     /// Attaches a metrics registry: decision counters
     /// (`asc_decisions_total{kind}`), the active-VM and frequency-ratio
     /// gauges, and a utilization histogram (`asc_step_util`).
     pub fn attach_metrics(&mut self, metrics: MetricsHandle) {
-        self.metrics = Some(metrics);
+        self.sinks.set_metrics(metrics);
     }
 
     /// Attaches a flight recorder: every emitted controller transition
@@ -115,7 +129,7 @@ impl AutoScaler {
     /// decisions and Equation-1 evaluations line up with engine phases
     /// and runner windows in the exported trace.
     pub fn attach_flight(&mut self, flight: FlightHandle) {
-        self.flight = Some(flight);
+        self.sinks.set_flight(flight);
     }
 
     fn emit(
@@ -125,14 +139,7 @@ impl AutoScaler {
         kind: &'static str,
         fields: Vec<(&'static str, Value)>,
     ) {
-        if let Some(flight) = &self.flight {
-            flight
-                .borrow_mut()
-                .instant_at(now, "asc", kind, level, fields.clone());
-        }
-        if let Some(trace) = &self.trace {
-            trace.borrow_mut().emit(now, "asc", level, kind, fields);
-        }
+        self.sinks.instant(now, "asc", level, kind, fields);
     }
 
     /// The policy in force.
@@ -160,36 +167,109 @@ impl AutoScaler {
         self.pending_ready_at.is_some()
     }
 
-    /// Runs one decision step at the sim's current time. The simulation
-    /// must already have been advanced to the decision instant.
+    /// The most recent decision step, if any (harnesses read this after
+    /// each control-plane tick to collect their series).
+    pub fn last_step(&self) -> Option<StepTrace> {
+        self.last_step
+    }
+
+    /// The scale-out action this configuration decides (the control
+    /// plane defers its maturation by the action's latency).
+    fn scale_out_action(&self) -> Action {
+        Action::ScaleOut {
+            latency: SimDuration::from_secs_f64(self.config.scale_out_latency_s),
+            interference: self.config.scale_out_interference,
+        }
+    }
+
+    /// Runs one decision step at the sim's current time, applying the
+    /// decided actions directly. The simulation must already have been
+    /// advanced to the decision instant. This is the standalone
+    /// equivalent of one [`ControlPlane`](ic_controlplane::ControlPlane)
+    /// tick.
     pub fn step(&mut self, sim: &mut ClientServerSim) -> StepTrace {
         let now = sim.now();
 
         // Complete a pending scale-out whose latency has elapsed.
         if let Some(ready) = self.pending_ready_at {
             if now >= ready {
-                let vm = sim.add_vm();
-                sim.set_freq_ratio(vm, self.current_ratio);
-                self.pending_ready_at = None;
-                self.last_topology_change = Some(now);
-                // Image transfer over: restore full capacity.
-                for &v in &sim.active_vms() {
-                    sim.set_share(v, 1.0);
+                let action = self.scale_out_action();
+                let outcome = sim_complete_scale_out(sim);
+                for follow_up in self.applied(now, &action, &outcome) {
+                    apply_to_sim(sim, &follow_up);
                 }
-                // Utilization will step down; stale window samples would
-                // immediately re-trigger, so restart the windows.
-                self.reset_windows();
-                self.emit(
-                    now,
-                    TraceLevel::Info,
-                    "scale_out_complete",
-                    vec![
-                        ("vm", Value::U64(vm as u64)),
-                        ("active_vms", Value::U64(sim.active_vms().len() as u64)),
-                        ("freq_ratio", Value::F64(self.current_ratio)),
-                    ],
-                );
             }
+        }
+
+        let snapshot = sim_snapshot(sim, now);
+        for action in self.observe(&snapshot) {
+            apply_to_sim(sim, &action);
+        }
+        self.last_step.expect("observe records a step")
+    }
+
+    /// OC-A frequency selection: Equation 1 picks the minimum ratio
+    /// keeping short-window utilization at or below the scale-up
+    /// threshold; if none suffices, the top bin; below the scale-down
+    /// threshold, relax toward the cheapest sufficient bin.
+    fn oc_a_ratio(&self, up_util: f64, productivity: f64) -> f64 {
+        let util_at_base = predict_utilization(
+            up_util.clamp(0.0, 1.0),
+            productivity,
+            self.current_ratio,
+            1.0,
+        )
+        .clamp(0.0, 1.0);
+        if up_util > self.config.scale_up_threshold {
+            min_frequency_for_threshold(
+                util_at_base,
+                productivity,
+                1.0,
+                &self.config.freq_ratios,
+                self.config.scale_up_threshold,
+            )
+            .unwrap_or_else(|| self.config.max_ratio())
+        } else if up_util < self.config.scale_down_threshold {
+            // Load is light: pick the cheapest bin that still keeps the
+            // (rescaled) utilization under the scale-up threshold.
+            min_frequency_for_threshold(
+                util_at_base,
+                productivity,
+                1.0,
+                &self.config.freq_ratios,
+                self.config.scale_up_threshold,
+            )
+            .unwrap_or_else(|| self.config.max_ratio())
+        } else {
+            // In the hysteresis band: hold.
+            self.current_ratio
+        }
+    }
+
+    fn reset_windows(&mut self) {
+        self.out_window = SlidingWindow::new(SimDuration::from_secs_f64(self.config.out_window_s));
+        self.up_window = SlidingWindow::new(SimDuration::from_secs_f64(self.config.up_window_s));
+    }
+}
+
+impl Controller for AutoScaler {
+    fn name(&self) -> &'static str {
+        "asc"
+    }
+
+    /// One decision step over the shared snapshot. Emits the same trace
+    /// stream as ever; the returned actions land on the world in
+    /// decision order (scale first, then any frequency change).
+    fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action> {
+        let now = snapshot.now;
+        let mut actions = Vec::new();
+
+        // Drop samples for VMs that vanished outside this controller's
+        // control (failover migrations in composed worlds). A no-op in
+        // standalone runs: scale-in already removes its victim's sample.
+        if self.last_samples.len() > snapshot.vms.len() {
+            self.last_samples
+                .retain(|&vm, _| snapshot.vms.iter().any(|v| v.vm == vm));
         }
 
         // Telemetry: per-VM utilization and productivity over the last
@@ -197,17 +277,24 @@ impl AutoScaler {
         let mut total_util = 0.0;
         let mut d_aperf = 0.0;
         let mut d_pperf = 0.0;
-        let active = sim.active_vms();
-        for &vm in &active {
-            let sample = sim.sample(vm);
-            if let Some(prev) = self.last_samples.get(&vm) {
-                total_util += sim.utilization_since(vm, prev);
-                let delta = sample.since(prev);
+        for v in &snapshot.vms {
+            if let Some(prev) = self.last_samples.get(&v.vm) {
+                let delta = v.sample.since(prev);
+                // Busy-core utilization in [0, 1] (busy core-seconds
+                // over vcores × wall), 0 for a zero-length interval —
+                // the same definition as
+                // `ClientServerSim::utilization_since`.
+                let wall = delta.d_wall_seconds();
+                if wall > 0.0 {
+                    total_util +=
+                        (delta.d_busy_seconds() / (v.vcores as f64 * wall)).clamp(0.0, 1.0);
+                }
                 d_aperf += delta.d_aperf();
                 d_pperf += delta.d_pperf();
             }
-            self.last_samples.insert(vm, sample);
+            self.last_samples.insert(v.vm, v.sample);
         }
+        let active = &snapshot.vms;
         let instant_util = if active.is_empty() {
             0.0
         } else {
@@ -216,8 +303,8 @@ impl AutoScaler {
                 ScalingMetric::QueueLength => {
                     // Queue depth per vcore, squashed into [0, 1) so the
                     // 0–1 thresholds stay meaningful.
-                    let queued: usize = active.iter().map(|&vm| sim.queue_depth(vm)).sum();
-                    let vcores: u32 = active.iter().map(|&vm| sim.vcores(vm)).sum();
+                    let queued: usize = active.iter().map(|v| v.queue_depth).sum();
+                    let vcores: u32 = active.iter().map(|v| v.vcores).sum();
                     let q = queued as f64 / vcores.max(1) as f64;
                     q / (q + 1.0)
                 }
@@ -256,11 +343,7 @@ impl AutoScaler {
                     Some(now + SimDuration::from_secs_f64(self.config.scale_out_latency_s));
                 self.scale_outs += 1;
                 scaled_out = true;
-                // The in-flight VM creation (image transfer, network
-                // traffic) eats into the serving VMs' capacity.
-                for &vm in &active {
-                    sim.set_share(vm, 1.0 - self.config.scale_out_interference);
-                }
+                actions.push(self.scale_out_action());
                 self.emit(
                     now,
                     TraceLevel::Info,
@@ -275,8 +358,9 @@ impl AutoScaler {
             } else if out_util < self.config.scale_in_threshold
                 && active.len() > self.config.min_vms
             {
-                if let Some(&vm) = active.last() {
-                    sim.remove_vm(vm);
+                if let Some(v) = active.last() {
+                    let vm = v.vm;
+                    actions.push(Action::ScaleIn { vm });
                     self.last_samples.remove(&vm);
                     self.scale_ins += 1;
                     scaled_in = true;
@@ -287,7 +371,7 @@ impl AutoScaler {
                         TraceLevel::Info,
                         "scale_in",
                         vec![
-                            ("vm", Value::U64(vm as u64)),
+                            ("vm", Value::U64(vm)),
                             ("out_util", Value::F64(out_util)),
                             ("threshold", Value::F64(self.config.scale_in_threshold)),
                             ("active_vms", Value::U64((active.len() - 1) as u64)),
@@ -333,9 +417,10 @@ impl AutoScaler {
                 ],
             );
             self.current_ratio = new_ratio;
-            for &vm in &sim.active_vms() {
-                sim.set_freq_ratio(vm, new_ratio);
-            }
+            actions.push(Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio: new_ratio,
+            });
         }
 
         let step = StepTrace {
@@ -344,7 +429,7 @@ impl AutoScaler {
             out_window_util: out_util,
             up_window_util: up_util,
             freq_ratio: self.current_ratio,
-            active_vms: sim.active_vms().len(),
+            active_vms: active.len() - scaled_in as usize,
             scaled_out,
             scaled_in,
         };
@@ -361,7 +446,7 @@ impl AutoScaler {
                 ("active_vms", Value::U64(step.active_vms as u64)),
             ],
         );
-        if let Some(metrics) = &self.metrics {
+        if let Some(metrics) = self.sinks.metrics() {
             let mut m = metrics.borrow_mut();
             m.counter_add("asc_decisions_total{step}", 1);
             if step.scaled_out {
@@ -375,50 +460,62 @@ impl AutoScaler {
             m.register_histogram("asc_step_util", 1e-3, 1.25, 40);
             m.histogram_record("asc_step_util", step.instant_util);
         }
-        step
+        self.last_step = Some(step);
+        actions
     }
 
-    /// OC-A frequency selection: Equation 1 picks the minimum ratio
-    /// keeping short-window utilization at or below the scale-up
-    /// threshold; if none suffices, the top bin; below the scale-down
-    /// threshold, relax toward the cheapest sufficient bin.
-    fn oc_a_ratio(&self, up_util: f64, productivity: f64) -> f64 {
-        let util_at_base = predict_utilization(
-            up_util.clamp(0.0, 1.0),
-            productivity,
-            self.current_ratio,
-            1.0,
-        )
-        .clamp(0.0, 1.0);
-        if up_util > self.config.scale_up_threshold {
-            min_frequency_for_threshold(
-                util_at_base,
-                productivity,
-                1.0,
-                &self.config.freq_ratios,
-                self.config.scale_up_threshold,
-            )
-            .unwrap_or_else(|| self.config.max_ratio())
-        } else if up_util < self.config.scale_down_threshold {
-            // Load is light: pick the cheapest bin that still keeps the
-            // (rescaled) utilization under the scale-up threshold.
-            min_frequency_for_threshold(
-                util_at_base,
-                productivity,
-                1.0,
-                &self.config.freq_ratios,
-                self.config.scale_up_threshold,
-            )
-            .unwrap_or_else(|| self.config.max_ratio())
-        } else {
-            // In the hysteresis band: hold.
-            self.current_ratio
+    /// Completes a matured scale-out: restores full capacity, restarts
+    /// the windows (utilization steps down; stale samples would
+    /// immediately re-trigger), and hands the newborn VM the fleet's
+    /// current frequency ratio.
+    fn applied(&mut self, now: SimTime, action: &Action, outcome: &Outcome) -> Vec<Action> {
+        match (action, outcome) {
+            (Action::ScaleOut { .. }, Outcome::VmCreated { vm }) => {
+                self.pending_ready_at = None;
+                self.last_topology_change = Some(now);
+                self.reset_windows();
+                // `last_samples` holds exactly the pre-maturation active
+                // set (every active VM is sampled every step, and no
+                // topology change can interleave while a creation is
+                // pending), so the post-maturation count is len + 1.
+                let active_vms = self.last_samples.len() as u64 + 1;
+                self.emit(
+                    now,
+                    TraceLevel::Info,
+                    "scale_out_complete",
+                    vec![
+                        ("vm", Value::U64(*vm)),
+                        ("active_vms", Value::U64(active_vms)),
+                        ("freq_ratio", Value::F64(self.current_ratio)),
+                    ],
+                );
+                vec![
+                    Action::SetFrequency {
+                        target: FreqTarget::Vm(*vm),
+                        ratio: self.current_ratio,
+                    },
+                    // Image transfer over: restore full capacity.
+                    Action::SetShare { share: 1.0 },
+                ]
+            }
+            (Action::ScaleOut { .. }, Outcome::Rejected { .. }) => {
+                // A composed world may decline the maturation (cluster
+                // out of capacity). Clear the pending creation so the
+                // scaler can retry instead of wedging; peers get their
+                // full share back.
+                self.pending_ready_at = None;
+                vec![Action::SetShare { share: 1.0 }]
+            }
+            _ => Vec::new(),
         }
     }
 
-    fn reset_windows(&mut self) {
-        self.out_window = SlidingWindow::new(SimDuration::from_secs_f64(self.config.out_window_s));
-        self.up_window = SlidingWindow::new(SimDuration::from_secs_f64(self.config.up_window_s));
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -637,5 +734,42 @@ mod tests {
                 "vm {vm} ratio"
             );
         }
+    }
+
+    #[test]
+    fn step_and_observe_share_one_decision_path() {
+        // The standalone `step` entry point is a thin observe/apply
+        // cycle: driving the Controller API by hand over the same sim
+        // and seed must reproduce `drive`'s trajectory exactly.
+        let mut sim_a = sim_with(1, 1000.0, 77);
+        let mut asc_a = AutoScaler::new(AscConfig::paper(), Policy::OcA);
+        let traces_a = drive(&mut asc_a, &mut sim_a, 300);
+
+        let mut sim_b = sim_with(1, 1000.0, 77);
+        let mut asc_b = AutoScaler::new(AscConfig::paper(), Policy::OcA);
+        let mut traces_b = Vec::new();
+        let period = SimDuration::from_secs(3);
+        let mut t = sim_b.now();
+        let end = t + SimDuration::from_secs(300);
+        while t < end {
+            t += period;
+            sim_b.advance_to(t);
+            let now = sim_b.now();
+            if let Some(ready) = asc_b.pending_ready_at {
+                if now >= ready {
+                    let action = asc_b.scale_out_action();
+                    let outcome = sim_complete_scale_out(&mut sim_b);
+                    for follow_up in asc_b.applied(now, &action, &outcome) {
+                        apply_to_sim(&mut sim_b, &follow_up);
+                    }
+                }
+            }
+            let snapshot = sim_snapshot(&sim_b, now);
+            for action in asc_b.observe(&snapshot) {
+                apply_to_sim(&mut sim_b, &action);
+            }
+            traces_b.push(asc_b.last_step().unwrap());
+        }
+        assert_eq!(traces_a, traces_b);
     }
 }

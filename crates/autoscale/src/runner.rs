@@ -1,14 +1,27 @@
 //! Experiment harness: drives the client-server application and the
 //! auto-scaler through the paper's load schedules and collects the
 //! Figure 15/16 series and Table XI metrics.
+//!
+//! [`Runner`] is a thin [`ControlPlane`] composition: it builds a
+//! [`RunWorld`] (the client-server sim plus the run's accumulators),
+//! registers the [`AutoScaler`] at the decision period, and lets the
+//! runtime drive the ticks. The schedule application, window
+//! accounting, and host power model live in the world's
+//! `pre_tick`/`post_tick` hooks — the exact code the old hand-written
+//! loop ran between controller steps.
 
 use crate::asc::AutoScaler;
 use crate::policy::{AscConfig, Policy};
+use ic_controlplane::fleet::{apply_to_sim, sim_complete_scale_out, sim_snapshot};
+use ic_controlplane::{
+    Action, ControlPlane, Controller, Outcome, TelemetrySnapshot, TickReport, World,
+};
 use ic_obs::engine_obs::EngineSpans;
 use ic_obs::flight::{FlightHandle, FlightRecorder};
 use ic_obs::json::Value;
 use ic_obs::metrics::MetricsHandle;
 use ic_obs::trace::{TraceHandle, TraceLevel};
+use ic_obs::ObsSinks;
 use ic_power::units::{Frequency, Voltage};
 use ic_power::vf::VfCurve;
 use ic_sim::series::TimeSeries;
@@ -55,6 +68,17 @@ pub fn validation_schedule() -> Schedule {
         .enumerate()
         .map(|(i, &qps)| (i as f64 * 300.0, qps))
         .collect()
+}
+
+/// The dwell (seconds between steps) a schedule was built with, read
+/// back off the grid; `300.0` (the paper's five-minute dwell) for
+/// schedules too short to tell.
+pub fn schedule_dwell(schedule: &Schedule) -> f64 {
+    if schedule.len() >= 2 {
+        schedule[1].0 - schedule[0].0
+    } else {
+        300.0
+    }
 }
 
 /// Experiment configuration.
@@ -111,15 +135,11 @@ impl RunnerConfig {
         }
     }
 
-    /// Total run duration implied by the schedule.
+    /// Total run duration implied by the schedule: the last step holds
+    /// for one dwell, plus any tail.
     pub fn duration_s(&self) -> f64 {
         let last = self.schedule.last().map(|&(t, _)| t).unwrap_or(0.0);
-        let dwell = if self.schedule.len() >= 2 {
-            self.schedule[1].0 - self.schedule[0].0
-        } else {
-            300.0
-        };
-        last + dwell + self.tail_s
+        last + schedule_dwell(&self.schedule) + self.tail_s
     }
 }
 
@@ -150,14 +170,126 @@ pub struct RunResult {
     pub vm_count: TimeSeries,
 }
 
+/// The runner's [`World`]: the client-server sim, the load schedule,
+/// and every per-window accumulator the run reports. The control plane
+/// calls `pre_tick` (schedule application) before each tick and
+/// `post_tick` (series, power model, flight windows) after the
+/// auto-scaler's decisions have landed.
+struct RunWorld {
+    sim: ClientServerSim,
+    schedule: Schedule,
+    next_step: usize,
+    vcores_per_vm: u32,
+    max_ratio: f64,
+    vf: VfCurve,
+    base_f: Frequency,
+    v0: Voltage,
+    latencies: Tally,
+    util_series: TimeSeries,
+    freq_series: TimeSeries,
+    vm_series: TimeSeries,
+    power: TimeWeighted,
+    vm_integral: TimeWeighted,
+    max_vms: usize,
+    flight: Option<FlightHandle>,
+}
+
+impl World for RunWorld {
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        self.sim.advance_to(t);
+    }
+
+    /// Applies any schedule steps due at or before the *previous* tick
+    /// time (the sim has not advanced yet), exactly where the old loop
+    /// applied them — so the QPS change's arrival-chain reseed draws
+    /// the RNG at the same instant it always did.
+    fn pre_tick(&mut self, _tick_at: SimTime) {
+        let t = self.sim.now();
+        while self.next_step < self.schedule.len()
+            && SimTime::from_secs_f64(self.schedule[self.next_step].0) <= t
+        {
+            self.sim.set_qps(self.schedule[self.next_step].1);
+            self.next_step += 1;
+        }
+    }
+
+    fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot {
+        sim_snapshot(&self.sim, now)
+    }
+
+    fn apply(&mut self, _now: SimTime, _source: &'static str, action: &Action) -> Outcome {
+        apply_to_sim(&mut self.sim, action)
+    }
+
+    fn complete_scale_out(&mut self, _now: SimTime) -> Outcome {
+        sim_complete_scale_out(&mut self.sim)
+    }
+
+    fn post_tick(&mut self, now: SimTime, controller: &dyn Controller, report: &TickReport) {
+        let asc = controller
+            .as_any()
+            .downcast_ref::<AutoScaler>()
+            .expect("the runner registers only the auto-scaler");
+        let trace = asc.last_step().expect("tick ran");
+
+        for (_, lat) in self.sim.take_completions() {
+            self.latencies.record(lat);
+        }
+        self.util_series.push(now, trace.instant_util * 100.0);
+        let pct = if self.max_ratio > 1.0 {
+            (trace.freq_ratio - 1.0) / (self.max_ratio - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        self.freq_series.push(now, pct);
+        self.vm_series.push(now, trace.active_vms as f64);
+        self.max_vms = self.max_vms.max(trace.active_vms);
+        self.vm_integral.set(now, trace.active_vms as f64);
+
+        // Host power: every server VM runs on the single tank-#1
+        // Xeon (as in the paper), so report the host's draw. The
+        // components mirror `ic_workloads::perfmodel::ServerPowerModel`:
+        // platform rest + uncore (scales f·V² when overclocked) +
+        // memory + busy cores at full dynamic power + idle cores in
+        // shallow sleep (still clocked).
+        let f = Frequency::from_mhz((self.base_f.mhz() as f64 * trace.freq_ratio).round() as u32);
+        let v = self.vf.voltage_for(f).max(self.v0);
+        let fv2 = f.ratio_to(self.base_f) * v.squared_ratio_to(self.v0);
+        let busy_cores =
+            (trace.instant_util * self.vcores_per_vm as f64 * trace.active_vms as f64).min(28.0);
+        let idle_cores = 28.0 - busy_cores;
+        let host_w = 45.0 + 15.0 * fv2 + 30.0 + 2.5 * busy_cores * fv2 + 0.8 * idle_cores * fv2;
+        self.power.set(now, host_w);
+
+        if let Some(flight) = &self.flight {
+            let mut f = flight.borrow_mut();
+            f.flush_phases();
+            f.record_complete(
+                report.window_start,
+                now,
+                "runner",
+                "step",
+                TraceLevel::Debug,
+                vec![
+                    ("util", Value::F64(trace.instant_util)),
+                    ("freq_ratio", Value::F64(trace.freq_ratio)),
+                    ("vms", Value::U64(trace.active_vms as u64)),
+                ],
+            );
+        }
+    }
+}
+
 /// Drives one (policy, seed) experiment.
 pub struct Runner {
     config: RunnerConfig,
     policy: Policy,
     seed: u64,
-    trace: Option<TraceHandle>,
-    metrics: Option<MetricsHandle>,
-    flight: Option<FlightHandle>,
+    sinks: ObsSinks,
 }
 
 impl Runner {
@@ -167,17 +299,22 @@ impl Runner {
             config,
             policy,
             seed,
-            trace: None,
-            metrics: None,
-            flight: None,
+            sinks: ObsSinks::none(),
         }
+    }
+
+    /// Attaches the full observability bundle in one call (see the
+    /// per-sink `with_*` builders for what each records).
+    pub fn with_sinks(mut self, sinks: ObsSinks) -> Self {
+        self.sinks = sinks;
+        self
     }
 
     /// Routes the auto-scaler's structured trace events into `trace`.
     /// Events are keyed by simulation time and recorder sequence only,
     /// so two same-seed runs emit byte-identical streams.
     pub fn with_trace(mut self, trace: TraceHandle) -> Self {
-        self.trace = Some(trace);
+        self.sinks.set_trace(trace);
         self
     }
 
@@ -187,7 +324,7 @@ impl Runner {
     /// `runner_avg_power_w` gauges so a summary can be printed from the
     /// registry alone.
     pub fn with_metrics(mut self, metrics: MetricsHandle) -> Self {
-        self.metrics = Some(metrics);
+        self.sinks.set_metrics(metrics);
         self
     }
 
@@ -198,7 +335,7 @@ impl Runner {
     /// timestamps are simulation time, so same-seed runs export
     /// byte-identical traces.
     pub fn with_flight(mut self, flight: FlightHandle) -> Self {
-        self.flight = Some(flight);
+        self.sinks.set_flight(flight);
         self
     }
 
@@ -216,14 +353,9 @@ impl Runner {
             sim.add_vm();
         }
         let mut asc = AutoScaler::new(cfg.asc.clone(), self.policy);
-        if let Some(trace) = &self.trace {
-            asc.attach_trace(trace.clone());
-        }
-        if let Some(metrics) = &self.metrics {
-            asc.attach_metrics(metrics.clone());
-        }
-        let run_span = self.flight.as_ref().map(|flight| {
-            asc.attach_flight(flight.clone());
+        asc.attach_sinks(self.sinks.clone());
+        let flight = self.sinks.flight().cloned();
+        let run_span = flight.as_ref().map(|flight| {
             sim.set_observer(Box::new(EngineSpans::new(flight.clone(), "engine")));
             flight.borrow_mut().open_at(
                 SimTime::ZERO,
@@ -237,85 +369,33 @@ impl Runner {
             )
         });
 
-        let vf = VfCurve::xeon_w3175x();
-        let base_f = Frequency::from_ghz(3.4);
-        let v0 = Voltage::from_volts(0.90);
-
-        let mut latencies = Tally::new();
-        let mut util_series = TimeSeries::new("util_pct");
-        let mut freq_series = TimeSeries::new("freq_pct_of_range");
-        let mut vm_series = TimeSeries::new("vms");
-        let mut power = TimeWeighted::new(SimTime::ZERO, 0.0);
-        let mut vm_integral = TimeWeighted::new(SimTime::ZERO, cfg.initial_vms as f64);
-        let mut max_vms = cfg.initial_vms;
-
         let period = SimDuration::from_secs_f64(cfg.asc.decision_period_s);
-        let end = SimTime::from_secs_f64(self.config.duration_s());
-        let mut next_step = 0usize;
-        let mut t = SimTime::ZERO;
-        let max_ratio = cfg.asc.max_ratio();
+        let end = SimTime::from_secs_f64(cfg.duration_s());
+        let world = RunWorld {
+            sim,
+            schedule: cfg.schedule.clone(),
+            next_step: 0,
+            vcores_per_vm: cfg.vcores_per_vm,
+            max_ratio: cfg.asc.max_ratio(),
+            vf: VfCurve::xeon_w3175x(),
+            base_f: Frequency::from_ghz(3.4),
+            v0: Voltage::from_volts(0.90),
+            latencies: Tally::new(),
+            util_series: TimeSeries::new("util_pct"),
+            freq_series: TimeSeries::new("freq_pct_of_range"),
+            vm_series: TimeSeries::new("vms"),
+            power: TimeWeighted::new(SimTime::ZERO, 0.0),
+            vm_integral: TimeWeighted::new(SimTime::ZERO, cfg.initial_vms as f64),
+            max_vms: cfg.initial_vms,
+            flight: flight.clone(),
+        };
 
-        while t < end {
-            // Apply any schedule steps due at or before t.
-            while next_step < cfg.schedule.len()
-                && SimTime::from_secs_f64(cfg.schedule[next_step].0) <= t
-            {
-                sim.set_qps(cfg.schedule[next_step].1);
-                next_step += 1;
-            }
-            let window_start = t;
-            t = (t + period).min(end);
-            sim.advance_to(t);
-            let trace = asc.step(&mut sim);
+        let mut plane = ControlPlane::new(world);
+        plane.register(Box::new(asc), period);
+        plane.run_until(end);
+        let mut world = plane.into_world();
 
-            for (_, lat) in sim.take_completions() {
-                latencies.record(lat);
-            }
-            util_series.push(t, trace.instant_util * 100.0);
-            let pct = if max_ratio > 1.0 {
-                (trace.freq_ratio - 1.0) / (max_ratio - 1.0) * 100.0
-            } else {
-                0.0
-            };
-            freq_series.push(t, pct);
-            vm_series.push(t, trace.active_vms as f64);
-            max_vms = max_vms.max(trace.active_vms);
-            vm_integral.set(t, trace.active_vms as f64);
-
-            // Host power: every server VM runs on the single tank-#1
-            // Xeon (as in the paper), so report the host's draw. The
-            // components mirror `ic_workloads::perfmodel::ServerPowerModel`:
-            // platform rest + uncore (scales f·V² when overclocked) +
-            // memory + busy cores at full dynamic power + idle cores in
-            // shallow sleep (still clocked).
-            let f = Frequency::from_mhz((base_f.mhz() as f64 * trace.freq_ratio).round() as u32);
-            let v = vf.voltage_for(f).max(v0);
-            let fv2 = f.ratio_to(base_f) * v.squared_ratio_to(v0);
-            let busy_cores =
-                (trace.instant_util * cfg.vcores_per_vm as f64 * trace.active_vms as f64).min(28.0);
-            let idle_cores = 28.0 - busy_cores;
-            let host_w = 45.0 + 15.0 * fv2 + 30.0 + 2.5 * busy_cores * fv2 + 0.8 * idle_cores * fv2;
-            power.set(t, host_w);
-
-            if let Some(flight) = &self.flight {
-                let mut f = flight.borrow_mut();
-                f.flush_phases();
-                f.record_complete(
-                    window_start,
-                    t,
-                    "runner",
-                    "step",
-                    TraceLevel::Debug,
-                    vec![
-                        ("util", Value::F64(trace.instant_util)),
-                        ("freq_ratio", Value::F64(trace.freq_ratio)),
-                        ("vms", Value::U64(trace.active_vms as u64)),
-                    ],
-                );
-            }
-        }
-
-        if let Some(flight) = &self.flight {
+        if let Some(flight) = &flight {
             let mut f = flight.borrow_mut();
             f.flush_phases();
             if let Some(token) = run_span.flatten() {
@@ -323,21 +403,21 @@ impl Runner {
             }
         }
 
-        let vm_hours = vm_integral.average(end) * end.as_secs_f64() / 3600.0;
+        let vm_hours = world.vm_integral.average(end) * end.as_secs_f64() / 3600.0;
         let result = RunResult {
             policy: self.policy.label(),
-            p95_latency_s: latencies.percentile(0.95),
-            avg_latency_s: latencies.mean(),
-            max_vms,
+            p95_latency_s: world.latencies.percentile(0.95),
+            avg_latency_s: world.latencies.mean(),
+            max_vms: world.max_vms,
             vm_hours,
-            avg_power_w: power.average(end),
-            completed: sim.completed_requests(),
-            sim_events: sim.events_processed(),
-            utilization: util_series,
-            frequency_pct: freq_series,
-            vm_count: vm_series,
+            avg_power_w: world.power.average(end),
+            completed: world.sim.completed_requests(),
+            sim_events: world.sim.events_processed(),
+            utilization: world.util_series,
+            frequency_pct: world.freq_series,
+            vm_count: world.vm_series,
         };
-        if let Some(metrics) = &self.metrics {
+        if let Some(metrics) = self.sinks.metrics() {
             let mut m = metrics.borrow_mut();
             m.gauge_set("runner_p95_latency_s", result.p95_latency_s);
             m.gauge_set("runner_avg_latency_s", result.avg_latency_s);
@@ -502,6 +582,19 @@ mod tests {
     fn empty_and_degenerate_ramps() {
         assert!(ramp_schedule(2000.0, 1000.0, 500.0, 300.0).is_empty());
         assert_eq!(ramp_schedule(500.0, 500.0, 500.0, 300.0), [(0.0, 500.0)]);
+    }
+
+    #[test]
+    fn schedule_dwell_reads_the_grid() {
+        assert_eq!(
+            schedule_dwell(&ramp_schedule(500.0, 4000.0, 500.0, 300.0)),
+            300.0
+        );
+        assert_eq!(schedule_dwell(&validation_schedule()), 300.0);
+        assert_eq!(schedule_dwell(&ramp_schedule(0.0, 100.0, 10.0, 60.0)), 60.0);
+        // Degenerate schedules fall back to the paper dwell.
+        assert_eq!(schedule_dwell(&vec![(0.0, 500.0)]), 300.0);
+        assert_eq!(schedule_dwell(&Vec::new()), 300.0);
     }
 
     #[test]

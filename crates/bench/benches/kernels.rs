@@ -20,9 +20,11 @@
 //! boxed-event count, the end-to-end wall time of the `table11`
 //! experiment from the registry (three policies through the `ic-par`
 //! scatter-gather pool), the throughput of a three-policy sweep
-//! (runs/sec), the governor's steady-state cache hit rate, and the
-//! worker count the pool resolved (`IC_PAR_WORKERS` or the machine's
-//! parallelism — wall-clock numbers only speed up with real cores).
+//! (runs/sec), the control-plane scheduling rate of the composed
+//! experiment (controller ticks/sec), the governor's steady-state
+//! cache hit rate, and the worker count the pool resolved
+//! (`IC_PAR_WORKERS` or the machine's parallelism — wall-clock numbers
+//! only speed up with real cores).
 //! Floats are encoded with [`ic_obs::json::write_f64`] so equal
 //! measurements encode identically.
 
@@ -204,7 +206,7 @@ fn bench_placement() {
                 Oversubscription::ratio(1.2),
             );
             for _ in 0..200 {
-                let _ = cluster.create_vm(VmSpec::new(4, 16.0));
+                let _ = cluster.create_vm(SimTime::ZERO, VmSpec::new(4, 16.0));
             }
             cluster.vm_count()
         }),
@@ -256,6 +258,22 @@ fn sweep_runs_per_sec(quick: bool) -> f64 {
     n / start.elapsed().as_secs_f64()
 }
 
+/// Times the composed control-plane experiment end-to-end and returns
+/// controller ticks per wall second — the gate on the [`ic_controlplane`]
+/// scheduler's overhead (telemetry assembly, action dispatch, and the
+/// tick events themselves, on top of the workload sim).
+fn composed_ctrl_ticks_per_sec(quick: bool) -> f64 {
+    let mode = if quick { Mode::Quick } else { Mode::Full };
+    let record = run_one("composed", &Scenario::paper(), mode).expect("composed is registered");
+    let ticks = record
+        .metrics
+        .iter()
+        .find(|m| m.name == "cp_ticks")
+        .map(|m| m.measured)
+        .expect("composed reports cp_ticks");
+    ticks / (record.wall_ms / 1e3)
+}
+
 /// Exercises the governor's decision loop over a grid of power grants
 /// and reports the steady-state memo table's hit rate — the fraction of
 /// power/temperature fixed points served without re-solving.
@@ -293,6 +311,10 @@ fn trajectory(quick: bool) -> Vec<(&'static str, f64)> {
         ("mgk_boxed_events", mgk_boxed as f64),
         ("table11_wall_ms", table11.wall_ms),
         ("sweep_runs_per_sec", sweep_rps),
+        (
+            "composed_ctrl_ticks_per_sec",
+            composed_ctrl_ticks_per_sec(quick),
+        ),
         ("steady_cache_hit_rate", governor_cache_hit_rate()),
         ("par_workers", ic_par::pool().workers() as f64),
     ]
@@ -301,7 +323,7 @@ fn trajectory(quick: bool) -> Vec<(&'static str, f64)> {
 /// Encodes the trajectory metrics as one deterministic-layout JSON
 /// object (only the measurements themselves vary run to run).
 fn trajectory_json(quick: bool, metrics: &[(&'static str, f64)]) -> String {
-    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v2\",\"mode\":");
+    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v3\",\"mode\":");
     write_escaped(if quick { "quick" } else { "full" }, &mut out);
     for (key, value) in metrics {
         out.push(',');
@@ -347,6 +369,10 @@ fn main() {
         "sweep_throughput             {:>10.3} runs/s ({} pool workers)",
         sweep_runs_per_sec(true),
         ic_par::pool().workers()
+    );
+    println!(
+        "composed_ctrl_ticks          {:>10.3} ticks/s",
+        composed_ctrl_ticks_per_sec(true)
     );
     println!(
         "steady_cache_hit_rate        {:>10.3}",

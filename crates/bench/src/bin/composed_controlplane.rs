@@ -1,0 +1,6 @@
+//! Runs the composed control-plane experiment (ASC + capping +
+//! governor + failover); pass --quick for a shortened schedule.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", ic_bench::experiments::composed::composed(quick));
+}

@@ -1,0 +1,303 @@
+//! The composed control-plane experiment: every stock controller on
+//! one clock.
+//!
+//! Runs [`ic_controlplane::FleetWorld`] under the full controller set —
+//! the auto-scaler (ic-autoscale), priority power capping (ic-power),
+//! the overclock governor (ic-core), a scripted server failure, and the
+//! failover/virtual-buffer controller — each at its own cadence on the
+//! [`ic_controlplane::ControlPlane`] scheduler. The run demonstrates
+//! the paper's Section VI end-state: capping squeezes the batch
+//! domain, the governor re-derives the safe frequency from its grant,
+//! the ASC compensates with placement, and a mid-run server failure is
+//! absorbed by boosting the survivors (Section V-B's virtual buffer).
+//!
+//! Everything derives from one seed; the run is a pure function of its
+//! configuration, so records are byte-identical across worker counts.
+
+use crate::report::Metric;
+use ic_autoscale::asc::AutoScaler;
+use ic_autoscale::policy::{AscConfig, Policy};
+use ic_controlplane::controllers::{
+    FailoverController, GovernorController, PowerCapController, ScriptController,
+};
+use ic_controlplane::{Action, ControlPlane, FleetConfig, FleetWorld, World};
+use ic_core::governor::{GovernorConfig, OverclockGovernor};
+use ic_obs::flight::FlightHandle;
+use ic_obs::ObsSinks;
+use ic_power::capping::PowerAllocator;
+use ic_power::cpu::CpuSku;
+use ic_power::units::Frequency;
+use ic_reliability::lifetime::CompositeLifetimeModel;
+use ic_reliability::stability::StabilityModel;
+use ic_sim::stats::Tally;
+use ic_sim::time::{SimDuration, SimTime};
+use ic_thermal::fluid::DielectricFluid;
+use ic_thermal::junction::ThermalInterface;
+
+/// The workload seed shared by render and record paths.
+const SEED: u64 = 42;
+
+/// Cadences, seconds: the ASC decides fast; power/governor re-plan
+/// slowly; fault script and failover watch in between.
+const CAP_PERIOD_S: u64 = 30;
+const WATCH_PERIOD_S: u64 = 15;
+
+/// The tank governor for the composed fleet (the paper's 2PIC
+/// HFE-7000 Skylake socket).
+fn governor() -> OverclockGovernor {
+    OverclockGovernor::new(
+        CpuSku::skylake_8180(),
+        ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+        CompositeLifetimeModel::fitted_5nm(),
+        StabilityModel::paper_characterization(),
+        GovernorConfig::default(),
+    )
+}
+
+/// Everything the render and the record report about one composed run.
+struct ComposedRun {
+    end_s: f64,
+    fail_at_s: f64,
+    repair_at_s: f64,
+    p95_latency_s: f64,
+    avg_latency_s: f64,
+    completed: u64,
+    sim_events: u64,
+    cp_ticks: u64,
+    vms_end: usize,
+    parked_end: usize,
+    failed_end: usize,
+    /// `(domain, granted watts)` at the horizon, domain order.
+    grants: Vec<(u64, f64)>,
+    budget_w: f64,
+    governor_ghz: f64,
+    governor_binding: String,
+    boost_engaged: bool,
+}
+
+/// Runs the composed experiment. `quick` halves the schedule dwell;
+/// `flight` routes the control plane's tick instants (and the world's
+/// sinks, were any attached) into the recorder without touching the
+/// numbers.
+fn composed_run(quick: bool, flight: Option<&FlightHandle>) -> ComposedRun {
+    let mut config = FleetConfig::small(SEED);
+    if quick {
+        config.schedule = config
+            .schedule
+            .iter()
+            .map(|&(t, qps)| (t / 2.0, qps))
+            .collect();
+    }
+    let dwell_s = if quick { 150.0 } else { 300.0 };
+    let last_s = config.schedule.last().map(|&(t, _)| t).unwrap_or(0.0);
+    let end_s = last_s + dwell_s;
+    // The failure lands mid-ramp; the repair arrives one dwell later,
+    // leaving a full window of degraded operation.
+    let fail_at_s = 1.5 * dwell_s;
+    let repair_at_s = 2.5 * dwell_s;
+    let budget_w = config.budget_w;
+
+    let asc_cfg = AscConfig::paper();
+    let asc_period = SimDuration::from_secs_f64(asc_cfg.decision_period_s);
+    let mut asc = AutoScaler::new(asc_cfg, Policy::OcA);
+    if let Some(flight) = flight {
+        asc.attach_sinks(ObsSinks::none().with_flight(flight.clone()));
+    }
+
+    let world = FleetWorld::new(config);
+    let mut plane = ControlPlane::new(world);
+    if let Some(flight) = flight {
+        plane.attach_sinks(ObsSinks::none().with_flight(flight.clone()));
+    }
+    let _asc_id = plane.register(Box::new(asc), asc_period);
+    // Capping must precede the governor at shared instants so grants
+    // land before the governor reads them.
+    let cap_id = plane.register(
+        Box::new(PowerCapController::new(PowerAllocator::new(budget_w))),
+        SimDuration::from_secs(CAP_PERIOD_S),
+    );
+    let gov_id = plane.register(
+        Box::new(GovernorController::new(
+            governor(),
+            Frequency::from_ghz(4.1),
+            Frequency::from_ghz(3.4),
+        )),
+        SimDuration::from_secs(CAP_PERIOD_S),
+    );
+    let _script_id = plane.register(
+        Box::new(ScriptController::new(vec![
+            (
+                SimTime::from_secs_f64(fail_at_s),
+                Action::FailServer { server: 0 },
+            ),
+            (
+                SimTime::from_secs_f64(repair_at_s),
+                Action::RepairServer { server: 0 },
+            ),
+        ])),
+        SimDuration::from_secs(WATCH_PERIOD_S),
+    );
+    let fo_id = plane.register(
+        Box::new(FailoverController::new(1.2)),
+        SimDuration::from_secs(WATCH_PERIOD_S),
+    );
+
+    plane.run_until(SimTime::from_secs_f64(end_s));
+
+    let cp_ticks = plane.ticks_total();
+    let decision = plane
+        .controller::<GovernorController>(gov_id)
+        .and_then(|g| g.last_decision().cloned())
+        .expect("governor ticked at least once");
+    let boost_engaged = plane
+        .controller::<FailoverController>(fo_id)
+        .map(|f| f.boosted())
+        .unwrap_or(false);
+    debug_assert!(plane.controller::<PowerCapController>(cap_id).is_some());
+
+    let end = SimTime::from_secs_f64(end_s);
+    let mut world = plane.into_world();
+    let mut latencies: Tally = world
+        .sim_mut()
+        .take_completions()
+        .into_iter()
+        .map(|(_, lat)| lat)
+        .collect();
+    let snap_cluster = world
+        .telemetry(end)
+        .cluster
+        .expect("fleet models placement");
+
+    ComposedRun {
+        end_s,
+        fail_at_s,
+        repair_at_s,
+        p95_latency_s: latencies.percentile(0.95),
+        avg_latency_s: latencies.mean(),
+        completed: world.sim().completed_requests(),
+        sim_events: world.sim().events_processed(),
+        cp_ticks,
+        vms_end: world.sim().active_vms().len(),
+        parked_end: world.parked().len(),
+        failed_end: snap_cluster.failed_servers.len(),
+        grants: world.grants().iter().map(|(&d, &w)| (d, w)).collect(),
+        budget_w,
+        governor_ghz: decision.frequency.ghz(),
+        governor_binding: format!("{:?}", decision.binding),
+        boost_engaged,
+    }
+}
+
+/// The composed experiment's human-readable report.
+pub fn composed(quick: bool) -> String {
+    let r = composed_run(quick, None);
+    let mut out =
+        String::from("== Composed control plane: ASC + capping + governor + failover ==\n");
+    out.push_str(&format!(
+        "controllers: asc (3 s), powercap ({CAP_PERIOD_S} s), governor ({CAP_PERIOD_S} s), \
+         script ({WATCH_PERIOD_S} s), failover ({WATCH_PERIOD_S} s); horizon {:.0} s\n",
+        r.end_s
+    ));
+    out.push_str(&format!(
+        "injected: server 0 fails at {:.0} s, repaired at {:.0} s\n",
+        r.fail_at_s, r.repair_at_s
+    ));
+    out.push_str(&format!(
+        "requests: {} completed, P95 {:.1} ms, mean {:.1} ms\n",
+        r.completed,
+        r.p95_latency_s * 1e3,
+        r.avg_latency_s * 1e3
+    ));
+    out.push_str(&format!("power budget {:.0} W:", r.budget_w));
+    for (domain, watts) in &r.grants {
+        out.push_str(&format!(" domain {domain} -> {watts:.0} W;"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "governor: {:.2} GHz on the squeezed grant (binding: {})\n",
+        r.governor_ghz, r.governor_binding
+    ));
+    out.push_str(&format!(
+        "end state: {} serving VMs, {} parked, {} failed servers, survivor boost {}\n",
+        r.vms_end,
+        r.parked_end,
+        r.failed_end,
+        if r.boost_engaged {
+            "engaged"
+        } else {
+            "released"
+        }
+    ));
+    out.push_str(&format!("control ticks: {}\n", r.cp_ticks));
+    out
+}
+
+/// Structured record for `run_all --json`.
+pub fn composed_record(quick: bool) -> (u64, Vec<Metric>) {
+    composed_record_with(quick, None)
+}
+
+/// [`composed_record`] with flight recording: the control plane's tick
+/// instants and the ASC's decision events land in `flight`; the record
+/// itself is byte-identical to the untraced one.
+pub fn composed_record_traced(quick: bool, flight: &FlightHandle) -> (u64, Vec<Metric>) {
+    composed_record_with(quick, Some(flight))
+}
+
+fn composed_record_with(quick: bool, flight: Option<&FlightHandle>) -> (u64, Vec<Metric>) {
+    let r = composed_run(quick, flight);
+    let mut metrics = vec![
+        Metric::new("p95_latency_s", "seconds", r.p95_latency_s),
+        Metric::new("requests_completed", "count", r.completed as f64),
+        Metric::new("cp_ticks", "count", r.cp_ticks as f64),
+        Metric::new("governor_ghz", "ghz", r.governor_ghz),
+        Metric::new("vms_end", "count", r.vms_end as f64),
+        Metric::new("parked_end", "count", r.parked_end as f64),
+        Metric::new("failed_servers_end", "count", r.failed_end as f64),
+    ];
+    for (domain, watts) in &r.grants {
+        metrics.push(Metric::new(format!("granted_w[{domain}]"), "watts", *watts));
+    }
+    (r.sim_events, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composed_run_is_deterministic_and_recovers() {
+        let a = composed_run(true, None);
+        let b = composed_run(true, None);
+        assert_eq!(a.p95_latency_s, b.p95_latency_s);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.sim_events, b.sim_events);
+        assert_eq!(a.cp_ticks, b.cp_ticks);
+        // The repair landed: no failed servers, no stranded VMs, boost
+        // released.
+        assert_eq!(a.failed_end, 0);
+        assert_eq!(a.parked_end, 0);
+        assert!(!a.boost_engaged);
+        assert!(a.completed > 0);
+        assert!(a.p95_latency_s > 0.0);
+    }
+
+    #[test]
+    fn capping_squeezes_the_batch_domain() {
+        let r = composed_run(true, None);
+        assert_eq!(r.grants.len(), 2);
+        let (critical, batch) = (r.grants[0].1, r.grants[1].1);
+        assert!(critical > batch, "critical {critical} vs batch {batch}");
+        assert!(critical + batch <= r.budget_w + 1e-9);
+    }
+
+    #[test]
+    fn traced_record_matches_untraced() {
+        let flight = ic_obs::flight::shared_flight(1 << 16);
+        let plain = composed_record(true);
+        let traced = composed_record_traced(true, &flight);
+        assert_eq!(plain, traced, "tracing must not change the record");
+        let rec = flight.borrow();
+        assert!(rec.counts_by_kind().contains_key(&("controlplane", "tick")));
+    }
+}

@@ -1,6 +1,7 @@
 //! All experiment implementations, one module per table/figure.
 
 pub mod ablations;
+pub mod composed;
 pub mod figures;
 pub mod tables;
 
@@ -50,13 +51,13 @@ mod tests {
     fn json_report_covers_every_experiment() {
         let out = run_all_json(true);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 23, "one record per experiment");
+        assert_eq!(lines.len(), 24, "one record per experiment");
         for line in &lines {
             assert!(line.starts_with("{\"id\":\""), "{line}");
             assert!(line.ends_with("]}"), "{line}");
         }
         for id in [
-            "table1", "table3", "table5", "table11", "fig12", "fig15", "fig16",
+            "table1", "table3", "table5", "table11", "fig12", "fig15", "fig16", "composed",
         ] {
             assert!(
                 lines

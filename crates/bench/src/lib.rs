@@ -31,6 +31,7 @@
 //! | `fig14_architecture` | Figure 14 — ASC components and cadences |
 //! | `fig15_validation` | Figure 15 — Equation 1 validation trace |
 //! | `fig16_utilization` | Figure 16 — policy utilization traces |
+//! | `composed_controlplane` | Composed control plane — ASC + capping + governor + failover |
 
 pub mod check;
 pub mod experiments;

@@ -7,6 +7,7 @@ use crate::vm::{VmId, VmInstance, VmSpec};
 use ic_obs::flight::FlightHandle;
 use ic_obs::json::Value;
 use ic_obs::trace::{TraceHandle, TraceLevel};
+use ic_obs::ObsSinks;
 use ic_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -53,9 +54,7 @@ pub struct Cluster {
     policy: PlacementPolicy,
     oversub: Oversubscription,
     next_id: u64,
-    trace: Option<TraceHandle>,
-    flight: Option<FlightHandle>,
-    clock: SimTime,
+    sinks: ObsSinks,
 }
 
 impl Cluster {
@@ -72,52 +71,49 @@ impl Cluster {
             policy,
             oversub,
             next_id: 0,
-            trace: None,
-            flight: None,
-            clock: SimTime::ZERO,
+            sinks: ObsSinks::none(),
         }
     }
 
     /// Attaches a trace recorder: VM lifecycle (create, delete, failover
     /// migration) and server failures/repairs are emitted as structured
-    /// events. The cluster has no clock of its own — the driver must
-    /// keep [`set_clock`](Self::set_clock) current for event timestamps
-    /// to be meaningful.
+    /// events. The cluster has no clock of its own — every mutating
+    /// method takes the current simulation time, which flows from the
+    /// driving event loop (the control plane's tick time or the
+    /// lifecycle engine's `now`).
     pub fn attach_trace(&mut self, trace: TraceHandle) {
-        self.trace = Some(trace);
-    }
-
-    /// Sets the simulation time stamped onto subsequent trace events.
-    pub fn set_clock(&mut self, now: SimTime) {
-        self.clock = now;
+        self.sinks.set_trace(trace);
     }
 
     /// The attached trace recorder, if any — so drivers can emit their
     /// own events (density samples, schedule changes) into the same
     /// stream.
     pub fn trace_handle(&self) -> Option<&TraceHandle> {
-        self.trace.as_ref()
+        self.sinks.trace()
     }
 
     /// Attaches a flight recorder: every emitted cluster event —
     /// placement, deletion, failover migration, server failure/repair —
-    /// is mirrored as an instant on the flight timeline at the cluster's
-    /// clock, alongside any [`attach_trace`](Self::attach_trace) stream.
+    /// is mirrored as an instant on the flight timeline at the event's
+    /// simulation time, alongside any
+    /// [`attach_trace`](Self::attach_trace) stream.
     pub fn attach_flight(&mut self, flight: FlightHandle) {
-        self.flight = Some(flight);
+        self.sinks.set_flight(flight);
     }
 
-    fn emit(&self, level: TraceLevel, kind: &'static str, fields: Vec<(&'static str, Value)>) {
-        if let Some(flight) = &self.flight {
-            flight
-                .borrow_mut()
-                .instant_at(self.clock, "cluster", kind, level, fields.clone());
-        }
-        if let Some(trace) = &self.trace {
-            trace
-                .borrow_mut()
-                .emit(self.clock, "cluster", level, kind, fields);
-        }
+    /// Attaches the whole observability bundle at once.
+    pub fn attach_sinks(&mut self, sinks: ObsSinks) {
+        self.sinks = sinks;
+    }
+
+    fn emit(
+        &self,
+        now: SimTime,
+        level: TraceLevel,
+        kind: &'static str,
+        fields: Vec<(&'static str, Value)>,
+    ) {
+        self.sinks.instant(now, "cluster", level, kind, fields);
     }
 
     /// The servers, in index order.
@@ -147,13 +143,14 @@ impl Cluster {
         self.oversub = oversub;
     }
 
-    /// Places a VM.
+    /// Places a VM at simulation time `now` (stamped onto the emitted
+    /// lifecycle event).
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::InsufficientCapacity`] if no healthy
     /// server can host it.
-    pub fn create_vm(&mut self, spec: VmSpec) -> Result<VmId, ClusterError> {
+    pub fn create_vm(&mut self, now: SimTime, spec: VmSpec) -> Result<VmId, ClusterError> {
         let host =
             match self
                 .policy
@@ -162,6 +159,7 @@ impl Cluster {
                 Some(host) => host,
                 None => {
                     self.emit(
+                        now,
                         TraceLevel::Warn,
                         "vm_reject",
                         vec![
@@ -178,6 +176,7 @@ impl Cluster {
         self.next_id += 1;
         self.vms.insert(id, VmInstance { id, spec, host });
         self.emit(
+            now,
             TraceLevel::Info,
             "vm_create",
             vec![
@@ -196,7 +195,7 @@ impl Cluster {
     /// # Errors
     ///
     /// Returns [`ClusterError::UnknownVm`] if the id is not live.
-    pub fn delete_vm(&mut self, id: VmId) -> Result<(), ClusterError> {
+    pub fn delete_vm(&mut self, now: SimTime, id: VmId) -> Result<(), ClusterError> {
         let vm = self.vms.remove(&id).ok_or(ClusterError::UnknownVm)?;
         // The host may have failed since placement; failed servers have
         // already zeroed their allocations.
@@ -204,6 +203,7 @@ impl Cluster {
             self.servers[vm.host].release(vm.spec.vcores(), vm.spec.memory_gb());
         }
         self.emit(
+            now,
             TraceLevel::Debug,
             "vm_delete",
             vec![
@@ -238,7 +238,11 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::UnknownServer`] if the index is out of
     /// range.
-    pub fn fail_server(&mut self, index: usize) -> Result<FailoverReport, ClusterError> {
+    pub fn fail_server(
+        &mut self,
+        now: SimTime,
+        index: usize,
+    ) -> Result<FailoverReport, ClusterError> {
         if index >= self.servers.len() {
             return Err(ClusterError::UnknownServer);
         }
@@ -250,6 +254,7 @@ impl Cluster {
             .cloned()
             .collect();
         self.emit(
+            now,
             TraceLevel::Warn,
             "server_fail",
             vec![
@@ -282,6 +287,7 @@ impl Cluster {
                         },
                     );
                     self.emit(
+                        now,
                         TraceLevel::Info,
                         "vm_migrate",
                         vec![
@@ -295,6 +301,7 @@ impl Cluster {
                 }
                 None => {
                     self.emit(
+                        now,
                         TraceLevel::Warn,
                         "vm_unplaced",
                         vec![
@@ -316,12 +323,13 @@ impl Cluster {
     ///
     /// Returns [`ClusterError::UnknownServer`] if the index is out of
     /// range.
-    pub fn repair_server(&mut self, index: usize) -> Result<(), ClusterError> {
+    pub fn repair_server(&mut self, now: SimTime, index: usize) -> Result<(), ClusterError> {
         if index >= self.servers.len() {
             return Err(ClusterError::UnknownServer);
         }
         self.servers[index].repair();
         self.emit(
+            now,
             TraceLevel::Info,
             "server_repair",
             vec![("server", Value::U64(index as u64))],
@@ -356,9 +364,9 @@ impl Cluster {
 
     /// Packs as many copies of `spec` as fit, returning the created ids —
     /// the primitive behind the capacity-crisis experiments.
-    pub fn fill_with(&mut self, spec: VmSpec) -> Vec<VmId> {
+    pub fn fill_with(&mut self, now: SimTime, spec: VmSpec) -> Vec<VmId> {
         let mut out = Vec::new();
-        while let Ok(id) = self.create_vm(spec) {
+        while let Ok(id) = self.create_vm(now, spec) {
             out.push(id);
         }
         out
@@ -393,21 +401,21 @@ mod tests {
     #[test]
     fn create_and_delete_round_trip() {
         let mut c = cluster(2, 16, 1.0);
-        let id = c.create_vm(VmSpec::new(4, 16.0)).unwrap();
+        let id = c.create_vm(SimTime::ZERO, VmSpec::new(4, 16.0)).unwrap();
         assert_eq!(c.vm_count(), 1);
         assert_eq!(c.allocated_vcores(), 4);
-        c.delete_vm(id).unwrap();
+        c.delete_vm(SimTime::ZERO, id).unwrap();
         assert_eq!(c.vm_count(), 0);
         assert_eq!(c.allocated_vcores(), 0);
-        assert_eq!(c.delete_vm(id), Err(ClusterError::UnknownVm));
+        assert_eq!(c.delete_vm(SimTime::ZERO, id), Err(ClusterError::UnknownVm));
     }
 
     #[test]
     fn capacity_enforced_without_oversubscription() {
         let mut c = cluster(1, 16, 1.0);
-        assert!(c.create_vm(VmSpec::new(16, 16.0)).is_ok());
+        assert!(c.create_vm(SimTime::ZERO, VmSpec::new(16, 16.0)).is_ok());
         assert_eq!(
-            c.create_vm(VmSpec::new(1, 1.0)),
+            c.create_vm(SimTime::ZERO, VmSpec::new(1, 1.0)),
             Err(ClusterError::InsufficientCapacity)
         );
     }
@@ -419,8 +427,8 @@ mod tests {
         let mut base = cluster(4, 20, 1.0);
         let mut dense = cluster(4, 20, 1.2);
         let spec = VmSpec::new(4, 8.0);
-        let n_base = base.fill_with(spec).len();
-        let n_dense = dense.fill_with(spec).len();
+        let n_base = base.fill_with(SimTime::ZERO, spec).len();
+        let n_dense = dense.fill_with(SimTime::ZERO, spec).len();
         assert_eq!(n_base, 20); // 5 VMs per 20-pcore server
         assert_eq!(n_dense, 24); // 24 vcores per server → 6 VMs: +20 %
         assert!((dense.packing_density() - 1.2).abs() < 1e-9);
@@ -432,10 +440,10 @@ mod tests {
         let mut c = cluster(3, 16, 1.0);
         let spec = VmSpec::new(8, 16.0);
         for _ in 0..4 {
-            c.create_vm(spec).unwrap();
+            c.create_vm(SimTime::ZERO, spec).unwrap();
         }
         // Two VMs per... FirstFit: server0 holds 2, server1 holds 2.
-        let report = c.fail_server(0).unwrap();
+        let report = c.fail_server(SimTime::ZERO, 0).unwrap();
         assert_eq!(report.recreated.len(), 2);
         assert!(report.unplaced.is_empty());
         assert_eq!(c.vm_count(), 4);
@@ -446,9 +454,9 @@ mod tests {
     fn failover_reports_unplaced_when_full() {
         let mut c = cluster(2, 16, 1.0);
         let spec = VmSpec::new(16, 16.0);
-        c.create_vm(spec).unwrap();
-        c.create_vm(spec).unwrap();
-        let report = c.fail_server(0).unwrap();
+        c.create_vm(SimTime::ZERO, spec).unwrap();
+        c.create_vm(SimTime::ZERO, spec).unwrap();
+        let report = c.fail_server(SimTime::ZERO, 0).unwrap();
         assert_eq!(report.recreated.len(), 0);
         assert_eq!(report.unplaced.len(), 1);
         assert_eq!(c.vm_count(), 1);
@@ -457,31 +465,39 @@ mod tests {
     #[test]
     fn repair_restores_capacity() {
         let mut c = cluster(2, 16, 1.0);
-        c.fail_server(0).unwrap();
+        c.fail_server(SimTime::ZERO, 0).unwrap();
         assert_eq!(c.healthy_pcores(), 16);
-        c.repair_server(0).unwrap();
+        c.repair_server(SimTime::ZERO, 0).unwrap();
         assert_eq!(c.healthy_pcores(), 32);
-        assert!(c.create_vm(VmSpec::new(16, 1.0)).is_ok());
+        assert!(c.create_vm(SimTime::ZERO, VmSpec::new(16, 1.0)).is_ok());
     }
 
     #[test]
     fn delete_vm_on_failed_host_is_safe() {
         let mut c = cluster(2, 16, 1.0);
-        let a = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
-        let b = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
+        let a = c.create_vm(SimTime::ZERO, VmSpec::new(16, 16.0)).unwrap();
+        let b = c.create_vm(SimTime::ZERO, VmSpec::new(16, 16.0)).unwrap();
         // Fill the cluster so failover cannot re-place.
-        let report = c.fail_server(c.vm(a).map(|v| v.host).unwrap_or(0)).unwrap();
+        let report = c
+            .fail_server(SimTime::ZERO, c.vm(a).map(|v| v.host).unwrap_or(0))
+            .unwrap();
         assert_eq!(report.unplaced.len(), 1);
         // The surviving VM deletes cleanly.
         let survivor = if c.vm(a).is_some() { a } else { b };
-        assert!(c.delete_vm(survivor).is_ok());
+        assert!(c.delete_vm(SimTime::ZERO, survivor).is_ok());
     }
 
     #[test]
     fn unknown_server_errors() {
         let mut c = cluster(1, 8, 1.0);
-        assert_eq!(c.fail_server(5), Err(ClusterError::UnknownServer));
-        assert_eq!(c.repair_server(5), Err(ClusterError::UnknownServer));
+        assert_eq!(
+            c.fail_server(SimTime::ZERO, 5),
+            Err(ClusterError::UnknownServer)
+        );
+        assert_eq!(
+            c.repair_server(SimTime::ZERO, 5),
+            Err(ClusterError::UnknownServer)
+        );
         assert!(c.server_mut(5).is_err());
     }
 
@@ -492,19 +508,18 @@ mod tests {
         let trace = shared_recorder(64);
         let mut c = cluster(2, 16, 1.0);
         c.attach_trace(trace.clone());
-        c.set_clock(SimTime::from_secs(10));
-        let a = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
-        let _b = c.create_vm(VmSpec::new(16, 16.0)).unwrap();
+        let t10 = SimTime::from_secs(10);
+        let a = c.create_vm(t10, VmSpec::new(16, 16.0)).unwrap();
+        let _b = c.create_vm(t10, VmSpec::new(16, 16.0)).unwrap();
         // Cluster is full: the next create is rejected at Warn level.
-        assert!(c.create_vm(VmSpec::new(1, 1.0)).is_err());
-        c.set_clock(SimTime::from_secs(20));
+        assert!(c.create_vm(t10, VmSpec::new(1, 1.0)).is_err());
         // Failing a full host leaves its VM unplaced.
+        let t20 = SimTime::from_secs(20);
         let host = c.vm(a).unwrap().host;
-        c.fail_server(host).unwrap();
-        c.repair_server(host).unwrap();
-        c.set_clock(SimTime::from_secs(30));
+        c.fail_server(t20, host).unwrap();
+        c.repair_server(t20, host).unwrap();
         let survivor = c.vms_on(1 - host)[0].id;
-        c.delete_vm(survivor).unwrap();
+        c.delete_vm(SimTime::from_secs(30), survivor).unwrap();
 
         let rec = trace.borrow();
         let counts = rec.counts_by_kind();
@@ -533,10 +548,10 @@ mod tests {
         let mut c = cluster(2, 16, 1.0);
         c.attach_trace(trace.clone());
         c.attach_flight(flight.clone());
-        c.set_clock(SimTime::from_secs(10));
-        let a = c.create_vm(VmSpec::new(8, 8.0)).unwrap();
-        c.set_clock(SimTime::from_secs(20));
-        c.delete_vm(a).unwrap();
+        let a = c
+            .create_vm(SimTime::from_secs(10), VmSpec::new(8, 8.0))
+            .unwrap();
+        c.delete_vm(SimTime::from_secs(20), a).unwrap();
 
         // The flight instants mirror the trace events one-for-one.
         assert_eq!(

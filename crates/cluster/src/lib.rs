@@ -23,15 +23,16 @@
 //! use ic_cluster::placement::{PlacementPolicy, Oversubscription};
 //! use ic_cluster::server::ServerSpec;
 //! use ic_cluster::vm::VmSpec;
+//! use ic_sim::time::SimTime;
 //!
 //! let mut cluster = Cluster::new(
 //!     vec![ServerSpec::open_compute(); 4],
 //!     PlacementPolicy::BestFit,
 //!     Oversubscription::none(),
 //! );
-//! let vm = cluster.create_vm(VmSpec::new(4, 16.0)).unwrap();
+//! let vm = cluster.create_vm(SimTime::ZERO, VmSpec::new(4, 16.0)).unwrap();
 //! assert_eq!(cluster.vm_count(), 1);
-//! cluster.delete_vm(vm).unwrap();
+//! cluster.delete_vm(SimTime::ZERO, vm).unwrap();
 //! ```
 
 pub mod cluster;

@@ -152,9 +152,8 @@ pub fn run_lifecycle(
 }
 
 fn arrival(state: &mut State, engine: &mut Engine<State>) {
-    state.cluster.set_clock(engine.now());
     let spec = state.mix.pick(&mut state.rng);
-    match state.cluster.create_vm(spec) {
+    match state.cluster.create_vm(engine.now(), spec) {
         Ok(id) => {
             state.accepted += 1;
             state.live.push(id);
@@ -163,8 +162,7 @@ fn arrival(state: &mut State, engine: &mut Engine<State>) {
                 SimDuration::from_secs_f64(life.max(1.0)),
                 "departure",
                 move |state: &mut State, engine: &mut Engine<State>| {
-                    state.cluster.set_clock(engine.now());
-                    let _ = state.cluster.delete_vm(id);
+                    let _ = state.cluster.delete_vm(engine.now(), id);
                     state.live.retain(|&v| v != id);
                 },
             );
@@ -180,7 +178,6 @@ fn arrival(state: &mut State, engine: &mut Engine<State>) {
 }
 
 fn sample_density(state: &mut State, engine: &mut Engine<State>) {
-    state.cluster.set_clock(engine.now());
     let density = state.cluster.packing_density();
     state.density.push(engine.now(), density);
     // Oversubscription interference: with more vcores allocated than

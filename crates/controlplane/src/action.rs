@@ -1,0 +1,179 @@
+//! Typed control actions and their outcomes.
+//!
+//! A [`crate::Controller`] never mutates the world directly: it returns
+//! [`Action`] values from `observe`, and the [`crate::ControlPlane`]
+//! applies them through the [`crate::World`] in decision order. Keeping
+//! the verbs typed (instead of closures) makes every composed run
+//! auditable — the tick report records exactly which actions fired —
+//! and keeps controllers trivially serializable and replayable.
+
+use ic_sim::time::SimDuration;
+
+/// What a frequency change applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqTarget {
+    /// Every active VM / the whole managed fleet.
+    Fleet,
+    /// One VM by id.
+    Vm(u64),
+}
+
+/// A control decision, applied by the [`crate::World`] at the tick's
+/// simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Provision one more VM; it matures `latency` after the decision
+    /// tick, degrading existing VMs by `interference` until then.
+    ScaleOut {
+        /// Provisioning latency before the VM serves traffic.
+        latency: SimDuration,
+        /// Fractional slowdown imposed on peers while provisioning
+        /// (0 = none).
+        interference: f64,
+    },
+    /// Retire the VM with this id.
+    ScaleIn {
+        /// The VM to retire.
+        vm: u64,
+    },
+    /// Set the clock-frequency ratio (1.0 = base) on `target`.
+    SetFrequency {
+        /// Fleet-wide or a single VM.
+        target: FreqTarget,
+        /// Frequency as a ratio of base (e.g. 1.12 = +12%).
+        ratio: f64,
+    },
+    /// Set every active VM's CPU share (0, 1].
+    SetShare {
+        /// The share each VM may use of its vcores.
+        share: f64,
+    },
+    /// Grant a power domain (socket/server) a wattage budget.
+    GrantPower {
+        /// The power domain id.
+        domain: u64,
+        /// Granted watts.
+        watts: f64,
+    },
+    /// Revoke a previous grant, returning the domain to its floor.
+    RevokePower {
+        /// The power domain id.
+        domain: u64,
+    },
+    /// Re-place a parked (failed-over but unplaced) VM.
+    Migrate {
+        /// The VM to re-place.
+        vm: u64,
+    },
+    /// Inject a server failure (fault injection / chaos controllers).
+    FailServer {
+        /// Server index in the cluster.
+        server: usize,
+    },
+    /// Repair a previously failed server.
+    RepairServer {
+        /// Server index in the cluster.
+        server: usize,
+    },
+}
+
+impl Action {
+    /// Stable lowercase verb for traces and tick reports.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Action::ScaleOut { .. } => "scale_out",
+            Action::ScaleIn { .. } => "scale_in",
+            Action::SetFrequency { .. } => "set_frequency",
+            Action::SetShare { .. } => "set_share",
+            Action::GrantPower { .. } => "grant_power",
+            Action::RevokePower { .. } => "revoke_power",
+            Action::Migrate { .. } => "migrate",
+            Action::FailServer { .. } => "fail_server",
+            Action::RepairServer { .. } => "repair_server",
+        }
+    }
+}
+
+/// What happened when the world applied an [`Action`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The action took effect; nothing further to report.
+    Applied,
+    /// A scale-out matured (or a migrate landed) as this VM.
+    VmCreated {
+        /// The new VM's id.
+        vm: u64,
+    },
+    /// A scale-in retired this VM.
+    VmRemoved {
+        /// The retired VM's id.
+        vm: u64,
+    },
+    /// A power grant was recorded for this domain.
+    PowerGranted {
+        /// The power domain id.
+        domain: u64,
+        /// Granted watts.
+        watts: f64,
+    },
+    /// A server failure was absorbed.
+    FailedOver {
+        /// VMs re-created on healthy servers.
+        recreated: usize,
+        /// VMs that could not be placed (parked).
+        unplaced: usize,
+    },
+    /// A parked VM found a new home.
+    Migrated {
+        /// The VM that moved.
+        vm: u64,
+        /// The hosting server index.
+        to: usize,
+    },
+    /// The world declined the action (capacity, unknown id, …).
+    Rejected {
+        /// Why it was declined.
+        reason: &'static str,
+    },
+}
+
+impl Outcome {
+    /// `true` unless the world declined the action.
+    pub fn accepted(&self) -> bool {
+        !matches!(self, Outcome::Rejected { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_are_stable() {
+        assert_eq!(
+            Action::ScaleOut {
+                latency: SimDuration::from_secs(60),
+                interference: 0.3
+            }
+            .verb(),
+            "scale_out"
+        );
+        assert_eq!(Action::ScaleIn { vm: 1 }.verb(), "scale_in");
+        assert_eq!(
+            Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio: 1.1
+            }
+            .verb(),
+            "set_frequency"
+        );
+        assert_eq!(Action::FailServer { server: 0 }.verb(), "fail_server");
+    }
+
+    #[test]
+    fn rejection_is_the_only_unaccepted_outcome() {
+        assert!(Outcome::Applied.accepted());
+        assert!(Outcome::VmCreated { vm: 0 }.accepted());
+        assert!(!Outcome::Rejected { reason: "full" }.accepted());
+    }
+}

@@ -1,0 +1,99 @@
+//! The [`Controller`] and [`World`] traits — the two halves of the
+//! runtime.
+//!
+//! A controller is a pure decision loop: it observes a
+//! [`TelemetrySnapshot`] and returns [`Action`]s. A world owns the
+//! simulated state (workload sim, cluster, power model) and knows how
+//! to apply actions and assemble telemetry. The
+//! [`crate::ControlPlane`] sits between them, ticking each registered
+//! controller at its own cadence off one shared clock.
+
+use crate::action::{Action, Outcome};
+use crate::telemetry::TelemetrySnapshot;
+use ic_sim::time::SimTime;
+use std::any::Any;
+
+/// A control loop: observe shared telemetry, decide typed actions.
+///
+/// Implementations must be deterministic functions of their own state
+/// and the snapshot — no wall clock, no ambient randomness — so a
+/// composed run is byte-identical for a given seed regardless of how
+/// many `ic-par` workers execute sibling runs.
+pub trait Controller {
+    /// Stable short name, used in traces and tick reports.
+    fn name(&self) -> &'static str;
+
+    /// One control decision: read the snapshot, return actions in the
+    /// order they must be applied.
+    fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action>;
+
+    /// Notification that `action` (issued by this controller, possibly
+    /// at an earlier tick for deferred actions like scale-out) was
+    /// applied with `outcome`. May return immediate follow-up actions;
+    /// follow-ups are applied once and do **not** recurse.
+    fn applied(&mut self, now: SimTime, action: &Action, outcome: &Outcome) -> Vec<Action> {
+        let _ = (now, action, outcome);
+        Vec::new()
+    }
+
+    /// Downcast support so compositions can reach a concrete
+    /// controller (e.g. the runner reading `AutoScaler` window state).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// What one tick did, handed to [`World::post_tick`] so the world can
+/// record per-window accumulators (series, power integrals, flight
+/// windows) exactly where the old bespoke loops did.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// The tick's simulation time.
+    pub at: SimTime,
+    /// The ticked controller's [`Controller::name`].
+    pub controller: &'static str,
+    /// The previous tick time of this controller (window start).
+    pub window_start: SimTime,
+    /// Actions the controller decided this tick (before follow-ups).
+    pub decided: usize,
+}
+
+/// The simulated world a [`crate::ControlPlane`] drives: one clock,
+/// every subsystem advanced together, every action funneled through
+/// [`World::apply`].
+pub trait World {
+    /// Current simulation time of the underlying state.
+    fn now(&self) -> SimTime;
+
+    /// Advances the underlying simulation(s) to `t`.
+    fn advance_to(&mut self, t: SimTime);
+
+    /// Hook called at the *start* of a tick scheduled for `tick_at`,
+    /// **before** the world advances — i.e. while [`World::now`] still
+    /// reads the previous tick time. Worlds use it to apply exogenous
+    /// inputs (load schedules) exactly as the old hand-written loops
+    /// did between ticks.
+    fn pre_tick(&mut self, tick_at: SimTime) {
+        let _ = tick_at;
+    }
+
+    /// Assembles the shared snapshot at `now`.
+    fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot;
+
+    /// Applies one action at `now` on behalf of `source` (a controller
+    /// name, for traces).
+    fn apply(&mut self, now: SimTime, source: &'static str, action: &Action) -> Outcome;
+
+    /// Matures a pending scale-out at `now`: create the VM and report
+    /// it. Called by the runtime when a deferred [`Action::ScaleOut`]
+    /// comes due, *before* the tick's telemetry is assembled, so the
+    /// newborn VM is sampled at its creation tick.
+    fn complete_scale_out(&mut self, now: SimTime) -> Outcome;
+
+    /// Hook called after a controller's tick fully applied, with the
+    /// controller itself (for downcasting) and the tick report.
+    fn post_tick(&mut self, now: SimTime, controller: &dyn Controller, report: &TickReport) {
+        let _ = (now, controller, report);
+    }
+}

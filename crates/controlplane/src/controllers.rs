@@ -1,0 +1,431 @@
+//! Ports of the previously free-standing control loops onto
+//! [`Controller`].
+//!
+//! Each wraps the domain logic that already lives in its home crate —
+//! [`OverclockGovernor`] (ic-core), [`PowerAllocator`] (ic-power) —
+//! and adapts it to the observe/decide cycle: read the relevant
+//! telemetry section, run the existing algorithm, emit typed
+//! [`Action`]s. Two smaller loops round out the set: a scripted fault
+//! injector (deterministic chaos) and a failover controller
+//! implementing the paper's *virtual buffer* — boost the survivors
+//! instead of reserving idle hardware.
+
+use crate::action::{Action, FreqTarget};
+use crate::controller::Controller;
+use crate::telemetry::TelemetrySnapshot;
+use ic_core::governor::{GovernorDecision, OverclockGovernor};
+use ic_power::capping::{PowerAllocator, PowerGrant, PowerRequest};
+use ic_power::units::Frequency;
+use ic_sim::time::SimTime;
+use std::any::Any;
+
+/// Ratios closer than this are "the same frequency" — matches the
+/// epsilon the auto-scaler has always used for change suppression.
+const RATIO_EPS: f64 = 1e-12;
+
+/// The overclock governor as a controller: each tick it re-derives the
+/// highest safe frequency from the stability / lifetime / power
+/// ceilings (power from the capping controller's latest grant, seen
+/// through telemetry) and emits a fleet-wide [`Action::SetFrequency`]
+/// whenever the safe bin changes.
+pub struct GovernorController {
+    governor: OverclockGovernor,
+    /// The frequency the workload wants (typically the stability
+    /// ceiling: "as fast as safely possible").
+    requested: Frequency,
+    /// The base bin ratios are expressed against.
+    base: Frequency,
+    last_ratio: f64,
+    last_decision: Option<GovernorDecision>,
+}
+
+impl GovernorController {
+    /// Wraps `governor`, requesting `requested` each tick, with ratios
+    /// expressed against `base`.
+    pub fn new(governor: OverclockGovernor, requested: Frequency, base: Frequency) -> Self {
+        GovernorController {
+            governor,
+            requested,
+            base,
+            last_ratio: 1.0,
+            last_decision: None,
+        }
+    }
+
+    /// The wrapped governor.
+    pub fn governor(&self) -> &OverclockGovernor {
+        &self.governor
+    }
+
+    /// The most recent decision, if any tick has run.
+    pub fn last_decision(&self) -> Option<&GovernorDecision> {
+        self.last_decision.as_ref()
+    }
+
+    /// The watts this controller's socket may draw: the smallest grant
+    /// across power domains, or `f64::MAX` when the world models no
+    /// power delivery (the power ceiling then never binds).
+    fn granted_w(snapshot: &TelemetrySnapshot) -> f64 {
+        snapshot
+            .power
+            .as_ref()
+            .map(|p| {
+                p.domains
+                    .iter()
+                    .map(|d| d.granted_w)
+                    .fold(f64::MAX, f64::min)
+            })
+            .unwrap_or(f64::MAX)
+    }
+}
+
+impl Controller for GovernorController {
+    fn name(&self) -> &'static str {
+        "governor"
+    }
+
+    fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action> {
+        let granted_w = Self::granted_w(snapshot);
+        let decision = self.governor.decide(self.requested, granted_w);
+        let ratio = decision.frequency.ratio_to(self.base);
+        self.last_decision = Some(decision);
+        if (ratio - self.last_ratio).abs() > RATIO_EPS {
+            self.last_ratio = ratio;
+            vec![Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Priority-aware power capping as a controller: each tick it re-runs
+/// the [`PowerAllocator`] over the power domains' current demand and
+/// emits [`Action::GrantPower`] for every domain whose grant moved.
+pub struct PowerCapController {
+    allocator: PowerAllocator,
+    last_grants: Vec<PowerGrant>,
+}
+
+impl PowerCapController {
+    /// A capping controller enforcing `allocator`'s budget.
+    pub fn new(allocator: PowerAllocator) -> Self {
+        PowerCapController {
+            allocator,
+            last_grants: Vec::new(),
+        }
+    }
+
+    /// The enforced budget, watts.
+    pub fn budget_w(&self) -> f64 {
+        self.allocator.budget_w()
+    }
+
+    /// The most recent allocation, in request order.
+    pub fn last_grants(&self) -> &[PowerGrant] {
+        &self.last_grants
+    }
+}
+
+impl Controller for PowerCapController {
+    fn name(&self) -> &'static str {
+        "powercap"
+    }
+
+    fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action> {
+        let Some(power) = &snapshot.power else {
+            return Vec::new();
+        };
+        let requests: Vec<PowerRequest> = power
+            .domains
+            .iter()
+            .map(|d| PowerRequest {
+                id: d.domain,
+                priority: d.priority,
+                floor_w: d.floor_w,
+                demand_w: d.demand_w,
+            })
+            .collect();
+        let grants = self.allocator.allocate(&requests);
+        let mut actions = Vec::new();
+        for grant in &grants {
+            let current = power
+                .domains
+                .iter()
+                .find(|d| d.domain == grant.id)
+                .map(|d| d.granted_w);
+            if current != Some(grant.granted_w) {
+                actions.push(Action::GrantPower {
+                    domain: grant.id,
+                    watts: grant.granted_w,
+                });
+            }
+        }
+        self.last_grants = grants;
+        actions
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Deterministic fault injection: a fixed script of `(at, action)`
+/// pairs, each fired at the first tick at or after its time. Used to
+/// inject server failures and repairs into composed experiments
+/// without any randomness outside the seeded workload.
+pub struct ScriptController {
+    script: Vec<(SimTime, Action)>,
+    next: usize,
+}
+
+impl ScriptController {
+    /// A script controller; entries must be in non-decreasing time
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `script` times are not sorted.
+    pub fn new(script: Vec<(SimTime, Action)>) -> Self {
+        assert!(
+            script.windows(2).all(|w| w[0].0 <= w[1].0),
+            "script must be sorted by time"
+        );
+        ScriptController { script, next: 0 }
+    }
+
+    /// Entries not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.script.len() - self.next
+    }
+}
+
+impl Controller for ScriptController {
+    fn name(&self) -> &'static str {
+        "script"
+    }
+
+    fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action> {
+        let mut actions = Vec::new();
+        while self.next < self.script.len() && self.script[self.next].0 <= snapshot.now {
+            actions.push(self.script[self.next].1.clone());
+            self.next += 1;
+        }
+        actions
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The paper's virtual buffer as a controller: when servers fail, boost
+/// the survivors' frequency to absorb the lost capacity instead of
+/// holding idle spares; while failed-over VMs remain unplaced, keep
+/// asking the world to migrate them back as capacity returns, and drop
+/// the boost once the fleet is whole again.
+pub struct FailoverController {
+    boost_ratio: f64,
+    boosted: bool,
+}
+
+impl FailoverController {
+    /// A failover controller that boosts survivors to `boost_ratio`
+    /// (e.g. 1.2 = +20 %) while any server is down.
+    pub fn new(boost_ratio: f64) -> Self {
+        FailoverController {
+            boost_ratio,
+            boosted: false,
+        }
+    }
+
+    /// Whether the survivor boost is currently engaged.
+    pub fn boosted(&self) -> bool {
+        self.boosted
+    }
+}
+
+impl Controller for FailoverController {
+    fn name(&self) -> &'static str {
+        "failover"
+    }
+
+    fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action> {
+        let Some(cluster) = &snapshot.cluster else {
+            return Vec::new();
+        };
+        let mut actions = Vec::new();
+        if !cluster.failed_servers.is_empty() && !self.boosted {
+            self.boosted = true;
+            actions.push(Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio: self.boost_ratio,
+            });
+        } else if cluster.failed_servers.is_empty() && self.boosted {
+            self.boosted = false;
+            actions.push(Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio: 1.0,
+            });
+        }
+        for vm in &cluster.parked_vms {
+            actions.push(Action::Migrate { vm: *vm });
+        }
+        actions
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{ClusterTelemetry, DomainPower, PowerTelemetry};
+    use ic_power::capping::Priority;
+
+    fn snapshot_with_power(domains: Vec<DomainPower>, budget_w: f64) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::at(SimTime::from_secs(1));
+        snap.power = Some(PowerTelemetry { budget_w, domains });
+        snap
+    }
+
+    #[test]
+    fn script_fires_in_order_and_only_once() {
+        let mut script = ScriptController::new(vec![
+            (SimTime::from_secs(10), Action::FailServer { server: 0 }),
+            (SimTime::from_secs(20), Action::RepairServer { server: 0 }),
+        ]);
+        let early = TelemetrySnapshot::at(SimTime::from_secs(5));
+        assert!(script.observe(&early).is_empty());
+        let mid = TelemetrySnapshot::at(SimTime::from_secs(12));
+        assert_eq!(script.observe(&mid), vec![Action::FailServer { server: 0 }]);
+        assert_eq!(script.remaining(), 1);
+        let late = TelemetrySnapshot::at(SimTime::from_secs(30));
+        assert_eq!(
+            script.observe(&late),
+            vec![Action::RepairServer { server: 0 }]
+        );
+        assert!(script.observe(&late).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn script_rejects_unsorted_entries() {
+        ScriptController::new(vec![
+            (SimTime::from_secs(20), Action::FailServer { server: 0 }),
+            (SimTime::from_secs(10), Action::RepairServer { server: 0 }),
+        ]);
+    }
+
+    #[test]
+    fn powercap_regrants_only_on_change() {
+        let mut cap = PowerCapController::new(PowerAllocator::new(300.0));
+        let domains = vec![
+            DomainPower {
+                domain: 0,
+                priority: Priority::Batch,
+                floor_w: 50.0,
+                demand_w: 200.0,
+                granted_w: 50.0,
+            },
+            DomainPower {
+                domain: 1,
+                priority: Priority::Critical,
+                floor_w: 50.0,
+                demand_w: 200.0,
+                granted_w: 50.0,
+            },
+        ];
+        let snap = snapshot_with_power(domains.clone(), 300.0);
+        let actions = cap.observe(&snap);
+        // Critical gets its full demand; batch absorbs the shortfall.
+        assert!(actions.contains(&Action::GrantPower {
+            domain: 1,
+            watts: 200.0
+        }));
+        assert!(actions.contains(&Action::GrantPower {
+            domain: 0,
+            watts: 100.0
+        }));
+        // Re-observing with the grants already in telemetry is quiet.
+        let mut settled = domains;
+        settled[0].granted_w = 100.0;
+        settled[1].granted_w = 200.0;
+        let snap = snapshot_with_power(settled, 300.0);
+        assert!(cap.observe(&snap).is_empty());
+    }
+
+    #[test]
+    fn powercap_ignores_worlds_without_power() {
+        let mut cap = PowerCapController::new(PowerAllocator::new(300.0));
+        assert!(cap
+            .observe(&TelemetrySnapshot::at(SimTime::ZERO))
+            .is_empty());
+    }
+
+    #[test]
+    fn failover_boosts_once_and_releases() {
+        let mut fo = FailoverController::new(1.2);
+        let mut snap = TelemetrySnapshot::at(SimTime::from_secs(1));
+        snap.cluster = Some(ClusterTelemetry {
+            healthy_servers: 11,
+            failed_servers: vec![3],
+            packing_density: 1.1,
+            parked_vms: vec![42],
+        });
+        let actions = fo.observe(&snap);
+        assert_eq!(
+            actions,
+            vec![
+                Action::SetFrequency {
+                    target: FreqTarget::Fleet,
+                    ratio: 1.2
+                },
+                Action::Migrate { vm: 42 },
+            ]
+        );
+        assert!(fo.boosted());
+        // Same failure state again: no duplicate boost, keep migrating.
+        let again = fo.observe(&snap);
+        assert_eq!(again, vec![Action::Migrate { vm: 42 }]);
+        // Fleet whole again: release the boost.
+        snap.cluster = Some(ClusterTelemetry {
+            healthy_servers: 12,
+            failed_servers: Vec::new(),
+            packing_density: 1.0,
+            parked_vms: Vec::new(),
+        });
+        assert_eq!(
+            fo.observe(&snap),
+            vec![Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio: 1.0
+            }]
+        );
+        assert!(!fo.boosted());
+    }
+}

@@ -1,0 +1,681 @@
+//! Worlds over [`ClientServerSim`]: shared actuation helpers plus the
+//! composed [`FleetWorld`].
+//!
+//! The free functions here — [`sim_snapshot`], [`apply_to_sim`],
+//! [`sim_complete_scale_out`] — are the one implementation of "how a
+//! typed [`Action`] lands on the client-server workload sim". The ASC
+//! runner's world (in `ic-autoscale`) and the composed [`FleetWorld`]
+//! both delegate to them, so scale-out interference, scale-in victim
+//! selection, and frequency propagation behave identically everywhere.
+
+use crate::action::{Action, FreqTarget, Outcome};
+use crate::controller::World;
+use crate::telemetry::VmTelemetry;
+use crate::telemetry::{ClusterTelemetry, DomainPower, PowerTelemetry, TelemetrySnapshot};
+use ic_cluster::cluster::Cluster;
+use ic_cluster::placement::{Oversubscription, PlacementPolicy};
+use ic_cluster::server::ServerSpec;
+use ic_cluster::vm::{VmId, VmSpec};
+use ic_power::capping::Priority;
+use ic_sim::time::SimTime;
+use ic_workloads::mgk::ClientServerSim;
+use std::collections::BTreeMap;
+
+/// Assembles the per-VM telemetry section from `sim` at `now`: one
+/// [`VmTelemetry`] per active VM, in the sim's stable activation order
+/// (the same order `AutoScaler` has always iterated).
+pub fn sim_snapshot(sim: &ClientServerSim, now: SimTime) -> TelemetrySnapshot {
+    let mut snapshot = TelemetrySnapshot::at(now);
+    for vm in sim.active_vms() {
+        snapshot.vms.push(VmTelemetry {
+            vm: vm as u64,
+            sample: sim.sample(vm),
+            queue_depth: sim.queue_depth(vm),
+            vcores: sim.vcores(vm),
+        });
+    }
+    snapshot
+}
+
+/// Applies one action to `sim`. Power and cluster verbs are not this
+/// sim's to handle and come back [`Outcome::Rejected`]; composed worlds
+/// route those to their power/cluster models before falling through
+/// here.
+pub fn apply_to_sim(sim: &mut ClientServerSim, action: &Action) -> Outcome {
+    match action {
+        Action::ScaleOut { interference, .. } => {
+            // The in-flight VM creation (image transfer, network
+            // traffic) eats into the serving VMs' capacity.
+            for vm in sim.active_vms() {
+                sim.set_share(vm, 1.0 - interference);
+            }
+            Outcome::Applied
+        }
+        Action::ScaleIn { vm } => {
+            if sim.remove_vm(*vm as usize) {
+                Outcome::VmRemoved { vm: *vm }
+            } else {
+                Outcome::Rejected {
+                    reason: "no such vm",
+                }
+            }
+        }
+        Action::SetFrequency { target, ratio } => {
+            match target {
+                FreqTarget::Fleet => {
+                    for vm in sim.active_vms() {
+                        sim.set_freq_ratio(vm, *ratio);
+                    }
+                }
+                FreqTarget::Vm(vm) => sim.set_freq_ratio(*vm as usize, *ratio),
+            }
+            Outcome::Applied
+        }
+        Action::SetShare { share } => {
+            for vm in sim.active_vms() {
+                sim.set_share(vm, *share);
+            }
+            Outcome::Applied
+        }
+        Action::GrantPower { .. }
+        | Action::RevokePower { .. }
+        | Action::Migrate { .. }
+        | Action::FailServer { .. }
+        | Action::RepairServer { .. } => Outcome::Rejected {
+            reason: "not modeled by this world",
+        },
+    }
+}
+
+/// Matures a scale-out on `sim`: activate the VM and report its id.
+pub fn sim_complete_scale_out(sim: &mut ClientServerSim) -> Outcome {
+    let vm = sim.add_vm();
+    Outcome::VmCreated { vm: vm as u64 }
+}
+
+/// One power domain's static shape in a [`FleetWorld`].
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// Domain id (socket or server index).
+    pub domain: u64,
+    /// Capping priority under contention.
+    pub priority: Priority,
+    /// Watts the domain cannot run below (base-frequency draw).
+    pub floor_w: f64,
+    /// Watts the domain asks for at full overclock.
+    pub demand_w: f64,
+}
+
+/// Configuration of the composed fleet world.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Mean per-request core demand, seconds.
+    pub service_mean_s: f64,
+    /// Service-time squared coefficient of variation.
+    pub service_scv: f64,
+    /// Virtual cores per server VM.
+    pub vcores_per_vm: u32,
+    /// Counter stall fraction of the workload.
+    pub stall_fraction: f64,
+    /// Server VMs running (and placed) at t = 0.
+    pub initial_vms: usize,
+    /// Piecewise-constant client load: `(start_s, qps)` steps.
+    pub schedule: Vec<(f64, f64)>,
+    /// Physical servers in the cluster.
+    pub servers: usize,
+    /// vcore oversubscription ratio (1.0 = none).
+    pub oversub: f64,
+    /// The placement shape of every serving VM.
+    pub vm_spec: VmSpec,
+    /// Provisioned power budget shared by all domains, watts.
+    pub budget_w: f64,
+    /// The power domains under that budget.
+    pub domains: Vec<DomainSpec>,
+}
+
+impl FleetConfig {
+    /// A small composed fleet in the paper's shape: the Table XI
+    /// client-server workload on four-vcore VMs, an Open Compute
+    /// cluster, and two power domains (one critical, one batch) under
+    /// a budget that cannot satisfy both full asks.
+    pub fn small(seed: u64) -> Self {
+        FleetConfig {
+            seed,
+            service_mean_s: 0.0028,
+            service_scv: 2.0,
+            vcores_per_vm: 4,
+            stall_fraction: 0.10,
+            initial_vms: 1,
+            schedule: vec![(0.0, 500.0), (300.0, 1000.0), (600.0, 1500.0)],
+            servers: 4,
+            oversub: 1.2,
+            vm_spec: VmSpec::new(4, 16.0),
+            budget_w: 500.0,
+            domains: vec![
+                DomainSpec {
+                    domain: 0,
+                    priority: Priority::Critical,
+                    floor_w: 150.0,
+                    demand_w: 305.0,
+                },
+                DomainSpec {
+                    domain: 1,
+                    priority: Priority::Batch,
+                    floor_w: 150.0,
+                    demand_w: 305.0,
+                },
+            ],
+        }
+    }
+}
+
+/// The composed [`World`]: the client-server workload sim, a placement
+/// cluster, and a set of power domains — everything the four stock
+/// controllers (auto-scaler, governor, power capper, failover) need,
+/// advanced on one clock.
+///
+/// Serving VMs exist in both models: each live sim VM has a placement
+/// in the cluster (`vm_map`). Server failures displace placements; VMs
+/// the cluster cannot re-place are *parked* — removed from the serving
+/// sim and listed in [`ClusterTelemetry::parked_vms`] until a
+/// [`Action::Migrate`] finds them a new home.
+pub struct FleetWorld {
+    sim: ClientServerSim,
+    cluster: Cluster,
+    schedule: Vec<(f64, f64)>,
+    next_step: usize,
+    vm_spec: VmSpec,
+    /// Live sim VM → its cluster placement, in placement order.
+    vm_map: Vec<(u64, VmId)>,
+    parked: Vec<u64>,
+    budget_w: f64,
+    domains: Vec<DomainSpec>,
+    grants: BTreeMap<u64, f64>,
+}
+
+impl FleetWorld {
+    /// Builds the world and places the initial VMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster cannot hold `initial_vms`.
+    pub fn new(config: FleetConfig) -> Self {
+        let mut sim = ClientServerSim::new(
+            config.seed,
+            config.service_mean_s,
+            config.service_scv,
+            config.vcores_per_vm,
+            config.stall_fraction,
+        );
+        let mut cluster = Cluster::new(
+            vec![ServerSpec::open_compute(); config.servers],
+            PlacementPolicy::WorstFit,
+            if config.oversub > 1.0 {
+                Oversubscription::ratio(config.oversub)
+            } else {
+                Oversubscription::none()
+            },
+        );
+        let mut vm_map = Vec::new();
+        for _ in 0..config.initial_vms {
+            let vm = sim.add_vm() as u64;
+            let cid = cluster
+                .create_vm(SimTime::ZERO, config.vm_spec)
+                .expect("cluster holds the initial fleet");
+            vm_map.push((vm, cid));
+        }
+        FleetWorld {
+            sim,
+            cluster,
+            schedule: config.schedule,
+            next_step: 0,
+            vm_spec: config.vm_spec,
+            vm_map,
+            parked: Vec::new(),
+            budget_w: config.budget_w,
+            domains: config.domains,
+            grants: BTreeMap::new(),
+        }
+    }
+
+    /// The serving workload sim.
+    pub fn sim(&self) -> &ClientServerSim {
+        &self.sim
+    }
+
+    /// The serving workload sim, mutably — for result extraction after
+    /// the horizon (draining completions, say). Mutating mid-run from
+    /// outside a controller forfeits determinism guarantees.
+    pub fn sim_mut(&mut self) -> &mut ClientServerSim {
+        &mut self.sim
+    }
+
+    /// The placement cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// VMs evicted by failures and still awaiting placement.
+    pub fn parked(&self) -> &[u64] {
+        &self.parked
+    }
+
+    /// Current power grants by domain id.
+    pub fn grants(&self) -> &BTreeMap<u64, f64> {
+        &self.grants
+    }
+
+    /// Re-points `vm_map` after a failover: cluster ids that vanished
+    /// were either re-created under fresh ids (matched here, in id
+    /// order — the cluster allocates new ids in displacement order) or
+    /// reported unplaced (handled by the caller).
+    fn remap_recreated(&mut self, recreated: &[(VmId, usize)]) {
+        if recreated.is_empty() {
+            return;
+        }
+        let known: Vec<VmId> = self.vm_map.iter().map(|&(_, cid)| cid).collect();
+        let mut fresh: Vec<VmId> = (0..self.cluster.servers().len())
+            .flat_map(|h| self.cluster.vms_on(h))
+            .map(|vm| vm.id)
+            .filter(|id| !known.contains(id))
+            .collect();
+        fresh.sort();
+        for (&(old, _), &new_id) in recreated.iter().zip(&fresh) {
+            if let Some(entry) = self.vm_map.iter_mut().find(|(_, cid)| *cid == old) {
+                entry.1 = new_id;
+            }
+        }
+    }
+}
+
+impl World for FleetWorld {
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        self.sim.advance_to(t);
+    }
+
+    fn pre_tick(&mut self, _tick_at: SimTime) {
+        let t = self.sim.now();
+        while self.next_step < self.schedule.len()
+            && SimTime::from_secs_f64(self.schedule[self.next_step].0) <= t
+        {
+            self.sim.set_qps(self.schedule[self.next_step].1);
+            self.next_step += 1;
+        }
+    }
+
+    fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot {
+        let mut snapshot = sim_snapshot(&self.sim, now);
+        snapshot.power = Some(PowerTelemetry {
+            budget_w: self.budget_w,
+            domains: self
+                .domains
+                .iter()
+                .map(|d| DomainPower {
+                    domain: d.domain,
+                    priority: d.priority,
+                    floor_w: d.floor_w,
+                    demand_w: d.demand_w,
+                    granted_w: self.grants.get(&d.domain).copied().unwrap_or(d.floor_w),
+                })
+                .collect(),
+        });
+        let failed: Vec<usize> = self
+            .cluster
+            .servers()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_failed())
+            .map(|(i, _)| i)
+            .collect();
+        snapshot.cluster = Some(ClusterTelemetry {
+            healthy_servers: self.cluster.servers().len() - failed.len(),
+            failed_servers: failed,
+            packing_density: self.cluster.packing_density(),
+            parked_vms: self.parked.clone(),
+        });
+        snapshot
+    }
+
+    fn apply(&mut self, now: SimTime, _source: &'static str, action: &Action) -> Outcome {
+        match action {
+            Action::ScaleIn { vm } => {
+                let outcome = apply_to_sim(&mut self.sim, action);
+                if outcome.accepted() {
+                    if let Some(pos) = self.vm_map.iter().position(|&(v, _)| v == *vm) {
+                        let (_, cid) = self.vm_map.remove(pos);
+                        let _ = self.cluster.delete_vm(now, cid);
+                    }
+                }
+                outcome
+            }
+            Action::GrantPower { domain, watts } => {
+                if self.domains.iter().any(|d| d.domain == *domain) {
+                    self.grants.insert(*domain, *watts);
+                    Outcome::PowerGranted {
+                        domain: *domain,
+                        watts: *watts,
+                    }
+                } else {
+                    Outcome::Rejected {
+                        reason: "unknown power domain",
+                    }
+                }
+            }
+            Action::RevokePower { domain } => {
+                if self.grants.remove(domain).is_some() {
+                    Outcome::Applied
+                } else {
+                    Outcome::Rejected {
+                        reason: "no grant to revoke",
+                    }
+                }
+            }
+            Action::FailServer { server } => match self.cluster.fail_server(now, *server) {
+                Ok(report) => {
+                    self.remap_recreated(&report.recreated);
+                    for cid in &report.unplaced {
+                        if let Some(pos) = self.vm_map.iter().position(|&(_, c)| c == *cid) {
+                            let (vm, _) = self.vm_map.remove(pos);
+                            self.sim.remove_vm(vm as usize);
+                            self.parked.push(vm);
+                        }
+                    }
+                    Outcome::FailedOver {
+                        recreated: report.recreated.len(),
+                        unplaced: report.unplaced.len(),
+                    }
+                }
+                Err(_) => Outcome::Rejected {
+                    reason: "unknown server",
+                },
+            },
+            Action::RepairServer { server } => match self.cluster.repair_server(now, *server) {
+                Ok(()) => Outcome::Applied,
+                Err(_) => Outcome::Rejected {
+                    reason: "unknown server",
+                },
+            },
+            Action::Migrate { vm } => {
+                let Some(pos) = self.parked.iter().position(|&p| p == *vm) else {
+                    return Outcome::Rejected {
+                        reason: "vm is not parked",
+                    };
+                };
+                match self.cluster.create_vm(now, self.vm_spec) {
+                    Ok(cid) => {
+                        self.parked.remove(pos);
+                        let host = self.cluster.vm(cid).map(|v| v.host).unwrap_or(0);
+                        let new_vm = self.sim.add_vm() as u64;
+                        self.vm_map.push((new_vm, cid));
+                        Outcome::Migrated {
+                            vm: new_vm,
+                            to: host,
+                        }
+                    }
+                    Err(_) => Outcome::Rejected {
+                        reason: "no cluster capacity",
+                    },
+                }
+            }
+            _ => apply_to_sim(&mut self.sim, action),
+        }
+    }
+
+    fn complete_scale_out(&mut self, now: SimTime) -> Outcome {
+        match self.cluster.create_vm(now, self.vm_spec) {
+            Ok(cid) => {
+                let vm = self.sim.add_vm() as u64;
+                self.vm_map.push((vm, cid));
+                Outcome::VmCreated { vm }
+            }
+            Err(_) => Outcome::Rejected {
+                reason: "no cluster capacity",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_sim::time::SimDuration;
+
+    fn sim() -> ClientServerSim {
+        let mut sim = ClientServerSim::new(1, 0.0028, 1.5, 4, 0.1);
+        sim.add_vm();
+        sim.set_qps(500.0);
+        sim
+    }
+
+    #[test]
+    fn snapshot_lists_vms_in_activation_order() {
+        let mut sim = sim();
+        sim.add_vm();
+        sim.advance_to(SimTime::from_secs(3));
+        let snap = sim_snapshot(&sim, sim.now());
+        let ids: Vec<u64> = snap.vms.iter().map(|v| v.vm).collect();
+        assert_eq!(
+            ids,
+            sim.active_vms()
+                .iter()
+                .map(|&v| v as u64)
+                .collect::<Vec<_>>()
+        );
+        assert!(snap.vms.iter().all(|v| v.vcores == 4));
+    }
+
+    #[test]
+    fn scale_verbs_land_on_the_sim() {
+        let mut sim = sim();
+        assert_eq!(
+            apply_to_sim(
+                &mut sim,
+                &Action::ScaleOut {
+                    latency: SimDuration::from_secs(60),
+                    interference: 0.32
+                }
+            ),
+            Outcome::Applied
+        );
+        let created = sim_complete_scale_out(&mut sim);
+        let Outcome::VmCreated { vm } = created else {
+            panic!("expected VmCreated, got {created:?}");
+        };
+        assert_eq!(
+            apply_to_sim(
+                &mut sim,
+                &Action::SetFrequency {
+                    target: FreqTarget::Vm(vm),
+                    ratio: 1.2
+                }
+            ),
+            Outcome::Applied
+        );
+        assert!((sim.freq_ratio(vm as usize) - 1.2).abs() < 1e-12);
+        assert_eq!(
+            apply_to_sim(&mut sim, &Action::ScaleIn { vm }),
+            Outcome::VmRemoved { vm }
+        );
+        assert_eq!(
+            apply_to_sim(&mut sim, &Action::ScaleIn { vm }),
+            Outcome::Rejected {
+                reason: "no such vm"
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_world_serves_power_and_cluster_telemetry() {
+        let mut world = FleetWorld::new(FleetConfig::small(3));
+        let snap = world.telemetry(SimTime::ZERO);
+        assert_eq!(snap.vms.len(), 1);
+        let power = snap.power.expect("fleet models power");
+        assert_eq!(power.domains.len(), 2);
+        // Ungranted domains report their floor.
+        assert!(power.domains.iter().all(|d| d.granted_w == d.floor_w));
+        let cluster = snap.cluster.expect("fleet models placement");
+        assert_eq!(cluster.healthy_servers, 4);
+        assert!(cluster.parked_vms.is_empty());
+    }
+
+    #[test]
+    fn grants_land_and_revoke() {
+        let mut world = FleetWorld::new(FleetConfig::small(3));
+        let granted = world.apply(
+            SimTime::ZERO,
+            "powercap",
+            &Action::GrantPower {
+                domain: 1,
+                watts: 222.0,
+            },
+        );
+        assert_eq!(
+            granted,
+            Outcome::PowerGranted {
+                domain: 1,
+                watts: 222.0
+            }
+        );
+        let snap = world.telemetry(SimTime::ZERO);
+        let d1 = &snap.power.unwrap().domains[1];
+        assert_eq!(d1.granted_w, 222.0);
+        assert!(world
+            .apply(
+                SimTime::ZERO,
+                "powercap",
+                &Action::RevokePower { domain: 1 }
+            )
+            .accepted());
+        assert!(!world
+            .apply(
+                SimTime::ZERO,
+                "powercap",
+                &Action::RevokePower { domain: 1 }
+            )
+            .accepted());
+        assert!(!world
+            .apply(
+                SimTime::ZERO,
+                "powercap",
+                &Action::GrantPower {
+                    domain: 99,
+                    watts: 1.0
+                }
+            )
+            .accepted());
+    }
+
+    #[test]
+    fn failover_parks_unplaced_vms_and_migrate_replaces_them() {
+        let mut config = FleetConfig::small(5);
+        // Two servers, VMs sized so each server holds exactly one: any
+        // failure strands its VM.
+        config.servers = 2;
+        config.oversub = 1.0;
+        config.initial_vms = 2;
+        config.vm_spec = VmSpec::new(48, 64.0);
+        let mut world = FleetWorld::new(config);
+        let t = SimTime::from_secs(10);
+
+        let outcome = world.apply(t, "script", &Action::FailServer { server: 0 });
+        assert_eq!(
+            outcome,
+            Outcome::FailedOver {
+                recreated: 0,
+                unplaced: 1
+            }
+        );
+        assert_eq!(world.parked().len(), 1);
+        let snap = world.telemetry(t);
+        assert_eq!(snap.vms.len(), 1, "parked VM left the serving sim");
+        assert_eq!(snap.cluster.as_ref().unwrap().failed_servers, vec![0]);
+
+        // No capacity yet: the migrate is declined and the VM stays
+        // parked.
+        let parked = world.parked()[0];
+        assert!(!world
+            .apply(t, "failover", &Action::Migrate { vm: parked })
+            .accepted());
+        assert_eq!(world.parked().len(), 1);
+
+        // Repair brings back capacity; the migrate then lands.
+        assert!(world
+            .apply(t, "failover", &Action::RepairServer { server: 0 })
+            .accepted());
+        let migrated = world.apply(t, "failover", &Action::Migrate { vm: parked });
+        assert!(matches!(migrated, Outcome::Migrated { .. }), "{migrated:?}");
+        assert!(world.parked().is_empty());
+        assert_eq!(world.telemetry(t).vms.len(), 2);
+    }
+
+    #[test]
+    fn failover_remaps_recreated_vms_so_scale_in_still_lands() {
+        // Plenty of room: failing a server re-creates its VM elsewhere
+        // under a fresh cluster id; a later ScaleIn on the sim VM must
+        // still release the (remapped) cluster placement.
+        let mut config = FleetConfig::small(7);
+        config.initial_vms = 3;
+        let mut world = FleetWorld::new(config);
+        let t = SimTime::from_secs(5);
+        let hosted: Vec<usize> = (0..world.cluster().servers().len())
+            .filter(|&h| !world.cluster().vms_on(h).is_empty())
+            .collect();
+        let outcome = world.apply(t, "script", &Action::FailServer { server: hosted[0] });
+        let Outcome::FailedOver {
+            recreated,
+            unplaced,
+        } = outcome
+        else {
+            panic!("expected FailedOver, got {outcome:?}");
+        };
+        assert!(recreated >= 1);
+        assert_eq!(unplaced, 0);
+        assert_eq!(world.parked().len(), 0);
+        // Every serving VM can still be scaled in, and the cluster
+        // placement count follows.
+        let vms: Vec<u64> = world.telemetry(t).vms.iter().map(|v| v.vm).collect();
+        assert_eq!(vms.len(), 3);
+        for vm in vms {
+            assert!(world.apply(t, "asc", &Action::ScaleIn { vm }).accepted());
+        }
+        assert_eq!(world.cluster().vm_count(), 0);
+    }
+
+    #[test]
+    fn scale_out_completion_is_gated_by_cluster_capacity() {
+        let mut config = FleetConfig::small(9);
+        config.servers = 1;
+        config.oversub = 1.0;
+        config.initial_vms = 1;
+        config.vm_spec = VmSpec::new(48, 64.0);
+        let mut world = FleetWorld::new(config);
+        let declined = world.complete_scale_out(SimTime::from_secs(1));
+        assert_eq!(
+            declined,
+            Outcome::Rejected {
+                reason: "no cluster capacity"
+            }
+        );
+        assert_eq!(world.telemetry(SimTime::from_secs(1)).vms.len(), 1);
+    }
+
+    #[test]
+    fn cluster_verbs_are_not_this_worlds_problem() {
+        let mut sim = sim();
+        assert!(!apply_to_sim(&mut sim, &Action::FailServer { server: 0 }).accepted());
+        assert!(!apply_to_sim(
+            &mut sim,
+            &Action::GrantPower {
+                domain: 0,
+                watts: 100.0
+            }
+        )
+        .accepted());
+    }
+}

@@ -1,0 +1,126 @@
+//! The telemetry bus: one snapshot per control tick.
+//!
+//! Every controller sees the same [`TelemetrySnapshot`], assembled by
+//! the [`crate::World`] from whatever subsystems it composes — VM
+//! hardware counters (ic-workloads / ic-telemetry), power-domain demand
+//! and grants (ic-power), and cluster placement state (ic-cluster).
+//! Sections a world does not model are simply `None`/empty; controllers
+//! are expected to no-op on missing sections rather than panic, so the
+//! same controller runs unmodified against a single-sim world (the ASC
+//! runner) or the full fleet world.
+
+use ic_power::capping::Priority;
+use ic_sim::time::SimTime;
+use ic_telemetry::counters::CounterSample;
+
+/// Per-VM telemetry: the cumulative counter sample plus instantaneous
+/// queue state, exactly what the paper's Equation-1 control loop reads.
+#[derive(Debug, Clone, Copy)]
+pub struct VmTelemetry {
+    /// The VM id (stable across ticks while the VM lives).
+    pub vm: u64,
+    /// Cumulative Aperf/Pperf/busy/wall counters at the tick instant.
+    pub sample: CounterSample,
+    /// Requests queued (not yet in service) at the tick instant.
+    pub queue_depth: usize,
+    /// Virtual cores backing the VM.
+    pub vcores: u32,
+}
+
+/// One power domain's demand and current grant.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainPower {
+    /// Domain id (socket or server index).
+    pub domain: u64,
+    /// Capping priority under contention.
+    pub priority: Priority,
+    /// Watts the domain cannot run below.
+    pub floor_w: f64,
+    /// Watts the domain wants right now.
+    pub demand_w: f64,
+    /// Watts currently granted (floor if never granted).
+    pub granted_w: f64,
+}
+
+/// Fleet-level power state.
+#[derive(Debug, Clone)]
+pub struct PowerTelemetry {
+    /// The provisioned budget shared by all domains.
+    pub budget_w: f64,
+    /// Per-domain demand/grant, in stable domain-id order.
+    pub domains: Vec<DomainPower>,
+}
+
+/// Cluster placement state.
+#[derive(Debug, Clone)]
+pub struct ClusterTelemetry {
+    /// Servers currently healthy.
+    pub healthy_servers: usize,
+    /// Indices of failed servers, ascending.
+    pub failed_servers: Vec<usize>,
+    /// Allocated vcores / healthy pcores.
+    pub packing_density: f64,
+    /// VMs evicted by failures and still awaiting placement, in
+    /// eviction order.
+    pub parked_vms: Vec<u64>,
+}
+
+/// Everything a controller may observe at one control tick.
+///
+/// Assembled fresh by [`crate::World::telemetry`] each tick — snapshots
+/// are values, never live references, so observing cannot mutate the
+/// world and every controller at the same tick sees identical state.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// The tick's simulation time.
+    pub now: SimTime,
+    /// Per-VM counters, in ascending VM-id order.
+    pub vms: Vec<VmTelemetry>,
+    /// Power section, if the world models power delivery.
+    pub power: Option<PowerTelemetry>,
+    /// Cluster section, if the world models placement.
+    pub cluster: Option<ClusterTelemetry>,
+}
+
+impl TelemetrySnapshot {
+    /// A snapshot with only a timestamp (every section empty).
+    pub fn at(now: SimTime) -> Self {
+        TelemetrySnapshot {
+            now,
+            ..Default::default()
+        }
+    }
+
+    /// The telemetry row for `vm`, if it is active.
+    pub fn vm(&self, vm: u64) -> Option<&VmTelemetry> {
+        self.vms.iter().find(|v| v.vm == vm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_has_no_sections() {
+        let snap = TelemetrySnapshot::at(SimTime::from_secs(5));
+        assert_eq!(snap.now, SimTime::from_secs(5));
+        assert!(snap.vms.is_empty());
+        assert!(snap.power.is_none());
+        assert!(snap.cluster.is_none());
+        assert!(snap.vm(0).is_none());
+    }
+
+    #[test]
+    fn vm_lookup_finds_by_id() {
+        let mut snap = TelemetrySnapshot::at(SimTime::ZERO);
+        snap.vms.push(VmTelemetry {
+            vm: 7,
+            sample: CounterSample::default(),
+            queue_depth: 3,
+            vcores: 4,
+        });
+        assert_eq!(snap.vm(7).unwrap().queue_depth, 3);
+        assert!(snap.vm(8).is_none());
+    }
+}

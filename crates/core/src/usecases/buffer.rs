@@ -8,6 +8,7 @@
 
 use ic_cluster::cluster::{Cluster, FailoverReport};
 use ic_power::units::Frequency;
+use ic_sim::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// The outcome of absorbing a failure with a virtual buffer.
@@ -60,18 +61,19 @@ pub fn virtual_buffer_servers(
     total_needed.saturating_sub(fleet_size)
 }
 
-/// Absorbs a server failure by re-creating its VMs and overclocking
-/// every surviving server that hosts VMs.
+/// Absorbs a server failure at simulation time `now` by re-creating its
+/// VMs and overclocking every surviving server that hosts VMs.
 ///
 /// # Errors
 ///
 /// Propagates [`ic_cluster::cluster::ClusterError`] from the failover.
 pub fn absorb_failure(
     cluster: &mut Cluster,
+    now: SimTime,
     failed_server: usize,
     boost_to: Frequency,
 ) -> Result<VirtualBufferReport, ic_cluster::cluster::ClusterError> {
-    let failover = cluster.fail_server(failed_server)?;
+    let failover = cluster.fail_server(now, failed_server)?;
     let n_healthy = cluster
         .servers()
         .iter()
@@ -140,9 +142,12 @@ mod tests {
     fn absorb_failure_recreates_and_boosts() {
         let mut cluster = fleet(4);
         for _ in 0..12 {
-            cluster.create_vm(VmSpec::new(12, 32.0)).unwrap();
+            cluster
+                .create_vm(SimTime::ZERO, VmSpec::new(12, 32.0))
+                .unwrap();
         }
-        let report = absorb_failure(&mut cluster, 0, Frequency::from_ghz(3.3)).unwrap();
+        let report =
+            absorb_failure(&mut cluster, SimTime::ZERO, 0, Frequency::from_ghz(3.3)).unwrap();
         assert!(report.failover.unplaced.is_empty(), "{report:?}");
         assert_eq!(cluster.vm_count(), 12);
         // Survivors are overclocked.
@@ -160,9 +165,12 @@ mod tests {
     fn large_fleet_fully_absorbs_one_failure() {
         let mut cluster = fleet(8);
         for _ in 0..16 {
-            cluster.create_vm(VmSpec::new(12, 32.0)).unwrap();
+            cluster
+                .create_vm(SimTime::ZERO, VmSpec::new(12, 32.0))
+                .unwrap();
         }
-        let report = absorb_failure(&mut cluster, 3, Frequency::from_ghz(3.3)).unwrap();
+        let report =
+            absorb_failure(&mut cluster, SimTime::ZERO, 3, Frequency::from_ghz(3.3)).unwrap();
         assert!(report.failover.unplaced.is_empty());
         assert_eq!(report.residual_deficit, 0.0, "7 × 0.22 > 1 lost server");
     }

@@ -20,6 +20,10 @@
 //!   parallel sweep tasks, and three exporters — Chrome Trace Event JSON
 //!   (loadable in Perfetto / `chrome://tracing`), JSONL, and a human
 //!   self-time summary table backed by [`ic_sim::hist::LogHistogram`].
+//! * [`sinks`] — the [`sinks::ObsSinks`] bundle: one value carrying
+//!   the optional trace/metrics/flight handles that every instrumented
+//!   component used to thread individually, with a single
+//!   [`sinks::ObsSinks::instant`] emit that mirrors flight-then-trace.
 //! * [`engine_obs`] — adapters implementing
 //!   [`ic_sim::observe::EngineObserver`] so the discrete-event engine
 //!   feeds the registry ([`engine_obs::EngineMetrics`]) or the flight
@@ -67,6 +71,7 @@ pub mod engine_obs;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod sinks;
 pub mod trace;
 
 pub use engine_obs::{EngineMetrics, EngineSpans};
@@ -76,4 +81,5 @@ pub use flight::{
 };
 pub use json::Value;
 pub use metrics::{shared_registry, MetricsHandle, MetricsRegistry};
+pub use sinks::ObsSinks;
 pub use trace::{shared_recorder, TraceEvent, TraceHandle, TraceLevel, TraceRecorder};

@@ -11,6 +11,7 @@ use immersion_cloud::cluster::server::ServerSpec;
 use immersion_cloud::cluster::vm::VmSpec;
 use immersion_cloud::core::usecases::packing::{max_neutral_ratio, plan_packing};
 use immersion_cloud::power::units::Frequency;
+use immersion_cloud::sim::time::SimTime;
 use immersion_cloud::tco::{CoolingScenario, TcoModel};
 
 fn main() {
@@ -41,11 +42,11 @@ fn main() {
     let vm = VmSpec::new(4, 16.0);
 
     let mut plain = fleet();
-    let n_plain = plain.fill_with(vm).len();
+    let n_plain = plain.fill_with(SimTime::ZERO, vm).len();
 
     let mut dense = fleet();
     dense.set_oversubscription(plan.oversubscription);
-    let n_dense = dense.fill_with(vm).len();
+    let n_dense = dense.fill_with(SimTime::ZERO, vm).len();
     for i in 0..dense.servers().len() {
         dense
             .server_mut(i)

@@ -17,6 +17,7 @@
 //! | [`cluster`] | `ic-cluster` | Servers, VMs, bin packing, oversubscription, failover |
 //! | [`core`] | `ic-core` | Operating domains, bottleneck analysis, overclock governor, use-cases |
 //! | [`autoscale`] | `ic-autoscale` | The overclocking-enhanced auto-scaler (Table XI) |
+//! | [`controlplane`] | `ic-controlplane` | Controller trait, telemetry bus, single-clock control-plane runtime |
 //! | [`tco`] | `ic-tco` | Table VI TCO model |
 //! | [`obs`] | `ic-obs` | Structured tracing, metrics registry, engine observer |
 //!
@@ -36,6 +37,7 @@
 
 pub use ic_autoscale as autoscale;
 pub use ic_cluster as cluster;
+pub use ic_controlplane as controlplane;
 pub use ic_core as core;
 pub use ic_obs as obs;
 pub use ic_par as par;

@@ -190,7 +190,7 @@ fn packing_never_exceeds_capacity() {
         for _ in 0..n {
             let vcores = 1 + rng.index(7) as u32;
             let mem = rng.uniform_range(1.0, 64.0);
-            let _ = cluster.create_vm(VmSpec::new(vcores, mem));
+            let _ = cluster.create_vm(SimTime::ZERO, VmSpec::new(vcores, mem));
         }
         let cap = Oversubscription::ratio(ratio).vcore_capacity(16);
         for server in cluster.servers() {
