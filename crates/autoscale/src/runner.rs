@@ -12,7 +12,7 @@
 
 use crate::asc::AutoScaler;
 use crate::policy::{AscConfig, Policy};
-use ic_controlplane::fleet::{apply_to_sim, sim_complete_scale_out, sim_snapshot};
+use ic_controlplane::fleet::{apply_to_sim, sim_complete_scale_out, sim_snapshot_into};
 use ic_controlplane::{
     Action, ControlPlane, Controller, Outcome, TelemetrySnapshot, TickReport, World,
 };
@@ -192,6 +192,7 @@ struct RunWorld {
     vm_integral: TimeWeighted,
     max_vms: usize,
     flight: Option<FlightHandle>,
+    snap: TelemetrySnapshot,
 }
 
 impl World for RunWorld {
@@ -217,8 +218,9 @@ impl World for RunWorld {
         }
     }
 
-    fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot {
-        sim_snapshot(&self.sim, now)
+    fn telemetry(&mut self, now: SimTime) -> &TelemetrySnapshot {
+        sim_snapshot_into(&self.sim, now, &mut self.snap);
+        &self.snap
     }
 
     fn apply(&mut self, _now: SimTime, _source: &'static str, action: &Action) -> Outcome {
@@ -388,6 +390,7 @@ impl Runner {
             vm_integral: TimeWeighted::new(SimTime::ZERO, cfg.initial_vms as f64),
             max_vms: cfg.initial_vms,
             flight: flight.clone(),
+            snap: TelemetrySnapshot::at(SimTime::ZERO),
         };
 
         let mut plane = ControlPlane::new(world);

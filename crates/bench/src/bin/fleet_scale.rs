@@ -1,0 +1,12 @@
+//! Standalone runner for the fleet-scale control-plane experiment.
+//!
+//! ```sh
+//! cargo run --release -p ic-bench --bin fleet_scale [-- --quick]
+//! ```
+
+use ic_bench::experiments::fleet_scale;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", fleet_scale::fleet_scale(quick));
+}

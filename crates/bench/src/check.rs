@@ -45,7 +45,7 @@ enum Rule {
     Info,
 }
 
-/// Every key of the `ic-bench/kernels/v3` snapshot with its rule.
+/// Every key of the `ic-bench/kernels/v4` snapshot with its rule.
 const RULES: &[(&str, Rule)] = &[
     ("schema", Rule::ExactStr),
     ("mode", Rule::Info),
@@ -58,6 +58,8 @@ const RULES: &[(&str, Rule)] = &[
     ("table11_wall_ms", Rule::TimeCeiling),
     ("sweep_runs_per_sec", Rule::RateFloor),
     ("composed_ctrl_ticks_per_sec", Rule::RateFloor),
+    ("fleet_snapshot_ns_per_vm", Rule::TimeCeiling),
+    ("fleet10k_ctrl_ticks_per_sec", Rule::RateFloor),
     ("steady_cache_hit_rate", Rule::HitRateFloor),
     ("par_workers", Rule::Info),
 ];
@@ -206,7 +208,7 @@ pub fn check(baseline: &str, current: &str) -> Result<CheckReport, String> {
 mod tests {
     use super::*;
 
-    const BASELINE: &str = r#"{"schema":"ic-bench/kernels/v3","mode":"quick","engine_events_per_sec":22918209.2,"engine_ms_per_100k_events":4.363,"engine_steady_events_per_sec":26229326.6,"engine_steady_allocs_per_event":0,"mgk_events_per_sec":8930852.6,"mgk_boxed_events":0,"table11_wall_ms":1617.3,"sweep_runs_per_sec":6.6,"composed_ctrl_ticks_per_sec":120.0,"steady_cache_hit_rate":0.996,"par_workers":1}"#;
+    const BASELINE: &str = r#"{"schema":"ic-bench/kernels/v4","mode":"quick","engine_events_per_sec":22918209.2,"engine_ms_per_100k_events":4.363,"engine_steady_events_per_sec":26229326.6,"engine_steady_allocs_per_event":0,"mgk_events_per_sec":8930852.6,"mgk_boxed_events":0,"table11_wall_ms":1617.3,"sweep_runs_per_sec":6.6,"composed_ctrl_ticks_per_sec":120.0,"fleet_snapshot_ns_per_vm":45.0,"fleet10k_ctrl_ticks_per_sec":300.0,"steady_cache_hit_rate":0.996,"par_workers":1}"#;
 
     #[test]
     fn identical_snapshot_passes_every_key() {
@@ -265,7 +267,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_and_missing_key_fail() {
-        let wrong_schema = BASELINE.replace("kernels/v3", "kernels/v1");
+        let wrong_schema = BASELINE.replace("kernels/v4", "kernels/v1");
         assert!(!check(BASELINE, &wrong_schema).unwrap().passed());
         let missing = BASELINE.replace("\"table11_wall_ms\":1617.3,", "");
         let report = check(BASELINE, &missing).unwrap();
@@ -286,6 +288,28 @@ mod tests {
             "\"steady_cache_hit_rate\":0.6",
         );
         assert!(check(BASELINE, &ok).unwrap().passed());
+    }
+
+    #[test]
+    fn fleet_keys_gate_in_both_directions() {
+        // Snapshot refill going O(fleet) shows up as a per-VM time blowup.
+        let slow_snap = BASELINE.replace(
+            "\"fleet_snapshot_ns_per_vm\":45.0",
+            "\"fleet_snapshot_ns_per_vm\":500.0",
+        );
+        let report = check(BASELINE, &slow_snap).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("FAIL  fleet_snapshot_ns_per_vm"));
+        // A 10k-domain tick rate collapse means per-tick cost went O(fleet).
+        let slow_ticks = BASELINE.replace(
+            "\"fleet10k_ctrl_ticks_per_sec\":300.0",
+            "\"fleet10k_ctrl_ticks_per_sec\":50.0",
+        );
+        let report = check(BASELINE, &slow_ticks).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .render()
+            .contains("FAIL  fleet10k_ctrl_ticks_per_sec"));
     }
 
     #[test]

@@ -166,6 +166,7 @@ fn composed_run(quick: bool, flight: Option<&FlightHandle>) -> ComposedRun {
     let snap_cluster = world
         .telemetry(end)
         .cluster
+        .clone()
         .expect("fleet models placement");
 
     ComposedRun {

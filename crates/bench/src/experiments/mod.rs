@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod composed;
 pub mod figures;
+pub mod fleet_scale;
 pub mod tables;
 
 use crate::registry::{render_selected, run_selected, Mode};
@@ -51,7 +52,7 @@ mod tests {
     fn json_report_covers_every_experiment() {
         let out = run_all_json(true);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 24, "one record per experiment");
+        assert_eq!(lines.len(), 25, "one record per experiment");
         for line in &lines {
             assert!(line.starts_with("{\"id\":\""), "{line}");
             assert!(line.ends_with("]}"), "{line}");

@@ -9,7 +9,7 @@
 //! reassembles results in registration order so parallel runs are
 //! byte-identical to serial ones (modulo `wall_ms`).
 
-use crate::experiments::{composed, figures, tables};
+use crate::experiments::{composed, figures, fleet_scale, tables};
 use crate::report::{ExperimentRecord, Metric};
 use ic_obs::flight::FlightHandle;
 use ic_obs::trace::TraceLevel;
@@ -184,7 +184,7 @@ impl Experiment for FnExperiment {
 /// All experiments in paper order, plus the composed control-plane
 /// run (not a paper artifact — the reproduction's own end-to-end
 /// demonstration, so it sits last).
-static REGISTRY: [FnExperiment; 24] = [
+static REGISTRY: [FnExperiment; 25] = [
     FnExperiment {
         id: "table1",
         title: "Table I: cooling technologies",
@@ -353,6 +353,13 @@ static REGISTRY: [FnExperiment; 24] = [
         metrics: Some(|_, m| composed::composed_record(m.is_quick())),
         traced: Some(|_, m, f| composed::composed_record_traced(m.is_quick(), f)),
     },
+    FnExperiment {
+        id: "fleet_scale",
+        title: "Fleet-scale control plane: 100 / 1k / 10k power domains",
+        render: |_, m| fleet_scale::fleet_scale(m.is_quick()),
+        metrics: Some(|_, m| fleet_scale::fleet_scale_record(m.is_quick())),
+        traced: Some(|_, m, f| fleet_scale::fleet_scale_record_traced(m.is_quick(), f)),
+    },
 ];
 
 /// The full registry in paper order.
@@ -493,13 +500,13 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_in_paper_order() {
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), 25);
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len(), "duplicate experiment id");
         assert_eq!(ids.first(), Some(&"table1"));
-        assert_eq!(ids.last(), Some(&"composed"));
+        assert_eq!(ids.last(), Some(&"fleet_scale"));
     }
 
     #[test]

@@ -318,6 +318,8 @@ impl Cluster {
     }
 
     /// Repairs a failed server, returning it to service empty.
+    /// Repairing a healthy server is a no-op (its live allocations must
+    /// not be clobbered).
     ///
     /// # Errors
     ///
@@ -326,6 +328,9 @@ impl Cluster {
     pub fn repair_server(&mut self, now: SimTime, index: usize) -> Result<(), ClusterError> {
         if index >= self.servers.len() {
             return Err(ClusterError::UnknownServer);
+        }
+        if !self.servers[index].is_failed() {
+            return Ok(());
         }
         self.servers[index].repair();
         self.emit(

@@ -78,8 +78,13 @@ pub trait World {
         let _ = tick_at;
     }
 
-    /// Assembles the shared snapshot at `now`.
-    fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot;
+    /// Refreshes and returns the shared snapshot at `now`.
+    ///
+    /// Worlds keep the snapshot as persistent state and update it
+    /// incrementally (dirty-tracked power/cluster sections, reusable VM
+    /// row buffers), so the returned borrow must be bitwise-identical
+    /// to a from-scratch rebuild at the same instant.
+    fn telemetry(&mut self, now: SimTime) -> &TelemetrySnapshot;
 
     /// Applies one action at `now` on behalf of `source` (a controller
     /// name, for traces).

@@ -14,7 +14,7 @@ use crate::action::{Action, FreqTarget};
 use crate::controller::Controller;
 use crate::telemetry::TelemetrySnapshot;
 use ic_core::governor::{GovernorDecision, OverclockGovernor};
-use ic_power::capping::{PowerAllocator, PowerGrant, PowerRequest};
+use ic_power::capping::{AllocScratch, PowerAllocator, PowerGrant, PowerRequest};
 use ic_power::units::Frequency;
 use ic_sim::time::SimTime;
 use std::any::Any;
@@ -37,18 +37,26 @@ pub struct GovernorController {
     base: Frequency,
     last_ratio: f64,
     last_decision: Option<GovernorDecision>,
+    /// The power-section version the last decision was derived from.
+    /// The decision is a pure function of that section (plus fixed
+    /// controller state), so an unchanged version means an unchanged
+    /// decision — and the change-suppressed action set is empty.
+    last_power_version: Option<u64>,
 }
 
 impl GovernorController {
     /// Wraps `governor`, requesting `requested` each tick, with ratios
-    /// expressed against `base`.
+    /// expressed against `base`. The governor's ceiling-search ladder
+    /// is batch-prewarmed so the first tick pays no per-point solves.
     pub fn new(governor: OverclockGovernor, requested: Frequency, base: Frequency) -> Self {
+        governor.prewarm();
         GovernorController {
             governor,
             requested,
             base,
             last_ratio: 1.0,
             last_decision: None,
+            last_power_version: None,
         }
     }
 
@@ -85,6 +93,15 @@ impl Controller for GovernorController {
     }
 
     fn observe(&mut self, snapshot: &TelemetrySnapshot) -> Vec<Action> {
+        if let Some(p) = &snapshot.power {
+            if self.last_power_version == Some(p.version) {
+                // Same inputs as last tick ⇒ same decision ⇒ the ratio
+                // cannot have moved ⇒ no actions, without rescanning
+                // the domains or re-deriving the ceilings.
+                return Vec::new();
+            }
+            self.last_power_version = Some(p.version);
+        }
         let granted_w = Self::granted_w(snapshot);
         let decision = self.governor.decide(self.requested, granted_w);
         let ratio = decision.frequency.ratio_to(self.base);
@@ -115,6 +132,14 @@ impl Controller for GovernorController {
 pub struct PowerCapController {
     allocator: PowerAllocator,
     last_grants: Vec<PowerGrant>,
+    /// Request rows rebuilt from the power section each re-allocation
+    /// (reused, never reallocated at steady state).
+    requests: Vec<PowerRequest>,
+    scratch: AllocScratch,
+    /// See [`GovernorController::last_power_version`]: the allocation
+    /// is a pure function of the power section, so an unchanged
+    /// version short-circuits the whole scan.
+    last_power_version: Option<u64>,
 }
 
 impl PowerCapController {
@@ -123,6 +148,9 @@ impl PowerCapController {
         PowerCapController {
             allocator,
             last_grants: Vec::new(),
+            requests: Vec::new(),
+            scratch: AllocScratch::default(),
+            last_power_version: None,
         }
     }
 
@@ -146,32 +174,33 @@ impl Controller for PowerCapController {
         let Some(power) = &snapshot.power else {
             return Vec::new();
         };
-        let requests: Vec<PowerRequest> = power
-            .domains
-            .iter()
-            .map(|d| PowerRequest {
+        if self.last_power_version == Some(power.version) {
+            return Vec::new();
+        }
+        self.last_power_version = Some(power.version);
+        self.requests.clear();
+        self.requests
+            .extend(power.domains.iter().map(|d| PowerRequest {
                 id: d.domain,
                 priority: d.priority,
                 floor_w: d.floor_w,
                 demand_w: d.demand_w,
-            })
-            .collect();
-        let grants = self.allocator.allocate(&requests);
+            }));
+        self.allocator
+            .try_allocate_into(&self.requests, &mut self.scratch, &mut self.last_grants)
+            .unwrap_or_else(|e| panic!("{e}"));
         let mut actions = Vec::new();
-        for grant in &grants {
-            let current = power
-                .domains
-                .iter()
-                .find(|d| d.domain == grant.id)
-                .map(|d| d.granted_w);
-            if current != Some(grant.granted_w) {
+        // Requests were built from the domain rows in order and grants
+        // come back in request order, so grant i belongs to domain row
+        // i — no per-grant search.
+        for (grant, row) in self.last_grants.iter().zip(&power.domains) {
+            if row.granted_w != grant.granted_w {
                 actions.push(Action::GrantPower {
                     domain: grant.id,
                     watts: grant.granted_w,
                 });
             }
         }
-        self.last_grants = grants;
         actions
     }
 
@@ -307,9 +336,17 @@ mod tests {
     use crate::telemetry::{ClusterTelemetry, DomainPower, PowerTelemetry};
     use ic_power::capping::Priority;
 
-    fn snapshot_with_power(domains: Vec<DomainPower>, budget_w: f64) -> TelemetrySnapshot {
+    fn snapshot_with_power(
+        domains: Vec<DomainPower>,
+        budget_w: f64,
+        version: u64,
+    ) -> TelemetrySnapshot {
         let mut snap = TelemetrySnapshot::at(SimTime::from_secs(1));
-        snap.power = Some(PowerTelemetry { budget_w, domains });
+        snap.power = Some(PowerTelemetry {
+            budget_w,
+            version,
+            domains,
+        });
         snap
     }
 
@@ -360,7 +397,7 @@ mod tests {
                 granted_w: 50.0,
             },
         ];
-        let snap = snapshot_with_power(domains.clone(), 300.0);
+        let snap = snapshot_with_power(domains.clone(), 300.0, 0);
         let actions = cap.observe(&snap);
         // Critical gets its full demand; batch absorbs the shortfall.
         assert!(actions.contains(&Action::GrantPower {
@@ -375,8 +412,29 @@ mod tests {
         let mut settled = domains;
         settled[0].granted_w = 100.0;
         settled[1].granted_w = 200.0;
-        let snap = snapshot_with_power(settled, 300.0);
+        // A bumped version forces a genuine re-allocation (not the
+        // version short-circuit); it must still be quiet.
+        let snap = snapshot_with_power(settled, 300.0, 2);
         assert!(cap.observe(&snap).is_empty());
+    }
+
+    #[test]
+    fn powercap_skips_rescan_when_power_version_is_unchanged() {
+        let mut cap = PowerCapController::new(PowerAllocator::new(300.0));
+        let domains = vec![DomainPower {
+            domain: 0,
+            priority: Priority::Batch,
+            floor_w: 50.0,
+            demand_w: 200.0,
+            granted_w: 50.0,
+        }];
+        let snap = snapshot_with_power(domains, 300.0, 7);
+        assert_eq!(cap.observe(&snap).len(), 1);
+        // Same version again: short-circuits before re-allocating —
+        // correct because an identical section yields the identical
+        // allocation, whose actions the change suppression would drop.
+        assert!(cap.observe(&snap).is_empty());
+        assert_eq!(cap.last_grants().len(), 1, "last allocation is kept");
     }
 
     #[test]

@@ -16,8 +16,13 @@ use ic_cluster::cluster::Cluster;
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
 use ic_cluster::server::ServerSpec;
 use ic_cluster::vm::{VmId, VmSpec};
+use ic_power::batch::BatchPoint;
+use ic_power::cache::SteadyStateCache;
 use ic_power::capping::Priority;
+use ic_power::cpu::{CpuSku, SteadyState};
+use ic_power::units::Frequency;
 use ic_sim::time::SimTime;
+use ic_thermal::junction::ThermalInterface;
 use ic_workloads::mgk::ClientServerSim;
 use std::collections::BTreeMap;
 
@@ -26,15 +31,27 @@ use std::collections::BTreeMap;
 /// (the same order `AutoScaler` has always iterated).
 pub fn sim_snapshot(sim: &ClientServerSim, now: SimTime) -> TelemetrySnapshot {
     let mut snapshot = TelemetrySnapshot::at(now);
-    for vm in sim.active_vms() {
-        snapshot.vms.push(VmTelemetry {
+    sim_snapshot_into(sim, now, &mut snapshot);
+    snapshot
+}
+
+/// Buffer-reusing form of [`sim_snapshot`]: stamps `now` and refills
+/// `out.vms` in place (every VM row carries the tick's wall-clock
+/// sample, so the rows are rebuilt each tick — but into the snapshot's
+/// existing buffer, with no per-tick allocation once it has grown to
+/// the fleet's high-water mark). The power and cluster sections are
+/// left untouched; incremental worlds maintain those on actuation.
+pub fn sim_snapshot_into(sim: &ClientServerSim, now: SimTime, out: &mut TelemetrySnapshot) {
+    out.now = now;
+    out.vms.clear();
+    for &vm in sim.active_ids() {
+        out.vms.push(VmTelemetry {
             vm: vm as u64,
             sample: sim.sample(vm),
             queue_depth: sim.queue_depth(vm),
             vcores: sim.vcores(vm),
         });
     }
-    snapshot
 }
 
 /// Applies one action to `sim`. Power and cluster verbs are not this
@@ -46,9 +63,7 @@ pub fn apply_to_sim(sim: &mut ClientServerSim, action: &Action) -> Outcome {
         Action::ScaleOut { interference, .. } => {
             // The in-flight VM creation (image transfer, network
             // traffic) eats into the serving VMs' capacity.
-            for vm in sim.active_vms() {
-                sim.set_share(vm, 1.0 - interference);
-            }
+            sim.set_share_all(1.0 - interference);
             Outcome::Applied
         }
         Action::ScaleIn { vm } => {
@@ -62,19 +77,13 @@ pub fn apply_to_sim(sim: &mut ClientServerSim, action: &Action) -> Outcome {
         }
         Action::SetFrequency { target, ratio } => {
             match target {
-                FreqTarget::Fleet => {
-                    for vm in sim.active_vms() {
-                        sim.set_freq_ratio(vm, *ratio);
-                    }
-                }
+                FreqTarget::Fleet => sim.set_freq_ratio_all(*ratio),
                 FreqTarget::Vm(vm) => sim.set_freq_ratio(*vm as usize, *ratio),
             }
             Outcome::Applied
         }
         Action::SetShare { share } => {
-            for vm in sim.active_vms() {
-                sim.set_share(vm, *share);
-            }
+            sim.set_share_all(*share);
             Outcome::Applied
         }
         Action::GrantPower { .. }
@@ -106,6 +115,25 @@ pub struct DomainSpec {
     pub demand_w: f64,
 }
 
+/// A physical power model for the fleet's domains: instead of the
+/// static [`DomainSpec::demand_w`], each domain's demand is the solved
+/// steady-state socket power at the fleet's commanded frequency,
+/// through one of a small set of thermal-interface *bins* (domain `i`
+/// dissipates through bin `i % bins.len()` — deterministic
+/// heterogeneity, e.g. tank position changing the junction-to-coolant
+/// resistance). A fleet-wide `SetFrequency` re-solves every domain,
+/// but only `bins.len()` operating points are distinct, so the batch
+/// solve is one structure-of-arrays pass plus cache hits.
+#[derive(Debug, Clone)]
+pub struct PowerModelSpec {
+    /// The socket populated in every domain.
+    pub sku: CpuSku,
+    /// Thermal-interface heterogeneity bins; must be non-empty.
+    pub bins: Vec<ThermalInterface>,
+    /// The frequency commanded by ratio 1.0, GHz.
+    pub base_ghz: f64,
+}
+
 /// Configuration of the composed fleet world.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -133,6 +161,9 @@ pub struct FleetConfig {
     pub budget_w: f64,
     /// The power domains under that budget.
     pub domains: Vec<DomainSpec>,
+    /// Physical demand model; `None` keeps the static
+    /// [`DomainSpec::demand_w`] asks.
+    pub power_model: Option<PowerModelSpec>,
 }
 
 impl FleetConfig {
@@ -167,6 +198,7 @@ impl FleetConfig {
                     demand_w: 305.0,
                 },
             ],
+            power_model: None,
         }
     }
 }
@@ -193,6 +225,64 @@ pub struct FleetWorld {
     budget_w: f64,
     domains: Vec<DomainSpec>,
     grants: BTreeMap<u64, f64>,
+    /// The persistent snapshot [`World::telemetry`] hands out. VM rows
+    /// are refilled (allocation-free) each tick; the power section is
+    /// updated in place at actuation time; the cluster section is
+    /// recomputed only when `cluster_dirty` says placement state moved.
+    snap: TelemetrySnapshot,
+    cluster_dirty: bool,
+    power_model: Option<FleetPowerModel>,
+}
+
+/// Runtime state of the optional physical demand model.
+struct FleetPowerModel {
+    sku: CpuSku,
+    bins: Vec<ThermalInterface>,
+    base_ghz: f64,
+    cache: SteadyStateCache,
+    /// The fleet frequency ratio currently reflected in the demand
+    /// rows (so a from-scratch recompute can re-derive them).
+    cur_ratio: f64,
+    /// Fleet-wide demand refreshes performed (one per distinct
+    /// commanded ratio that reached the model).
+    refreshes: u64,
+    /// Scratch for batch solves.
+    solved: Vec<SteadyState>,
+}
+
+impl FleetPowerModel {
+    /// Batch-solves the per-bin steady states at `ratio` into
+    /// `self.solved` (one entry per heterogeneity bin).
+    fn solve_bins(&mut self, ratio: f64) {
+        let f = Frequency::from_ghz(self.base_ghz * ratio);
+        let v = self.sku.voltage_for(f);
+        let points: Vec<BatchPoint<'_>> = self
+            .bins
+            .iter()
+            .map(|iface| BatchPoint { iface, f, v })
+            .collect();
+        self.solved.clear();
+        self.cache
+            .steady_state_batch_into(&self.sku, &points, &mut self.solved);
+        self.cur_ratio = ratio;
+        self.refreshes += 1;
+    }
+
+    /// The solved demand for domain index `i` (its bin's socket power).
+    fn demand_for(&self, i: usize) -> f64 {
+        self.solved[i % self.bins.len()].power_w
+    }
+
+    /// The demand a from-scratch recompute derives for domain `i` at
+    /// the model's current ratio — the scalar cache path, bitwise equal
+    /// to what [`solve_bins`](Self::solve_bins) wrote.
+    fn recompute_demand_for(&self, i: usize) -> f64 {
+        let f = Frequency::from_ghz(self.base_ghz * self.cur_ratio);
+        let v = self.sku.voltage_for(f);
+        self.cache
+            .steady_state(&self.sku, &self.bins[i % self.bins.len()], f, v)
+            .power_w
+    }
 }
 
 impl FleetWorld {
@@ -226,6 +316,52 @@ impl FleetWorld {
                 .expect("cluster holds the initial fleet");
             vm_map.push((vm, cid));
         }
+        // In-place power-row updates binary-search by domain id, so the
+        // spec order must be ascending (it doubles as the stable
+        // telemetry order).
+        assert!(
+            config.domains.windows(2).all(|w| w[0].domain < w[1].domain),
+            "domain ids must be strictly ascending"
+        );
+        let mut power_model = config.power_model.map(|spec| {
+            assert!(!spec.bins.is_empty(), "power model needs at least one bin");
+            FleetPowerModel {
+                sku: spec.sku,
+                bins: spec.bins,
+                base_ghz: spec.base_ghz,
+                cache: SteadyStateCache::new(),
+                cur_ratio: 1.0,
+                refreshes: 0,
+                solved: Vec::new(),
+            }
+        });
+        if let Some(model) = &mut power_model {
+            model.solve_bins(1.0);
+            model.refreshes = 0; // the seed solve is not an actuation
+        }
+        let mut snap = TelemetrySnapshot::at(SimTime::ZERO);
+        snap.power = Some(PowerTelemetry {
+            budget_w: config.budget_w,
+            version: 0,
+            domains: config
+                .domains
+                .iter()
+                .enumerate()
+                .map(|(i, d)| DomainPower {
+                    domain: d.domain,
+                    priority: d.priority,
+                    floor_w: d.floor_w,
+                    demand_w: power_model.as_ref().map_or(d.demand_w, |m| m.demand_for(i)),
+                    granted_w: d.floor_w,
+                })
+                .collect(),
+        });
+        snap.cluster = Some(ClusterTelemetry {
+            healthy_servers: 0,
+            failed_servers: Vec::new(),
+            packing_density: 0.0,
+            parked_vms: Vec::new(),
+        });
         FleetWorld {
             sim,
             cluster,
@@ -237,6 +373,9 @@ impl FleetWorld {
             budget_w: config.budget_w,
             domains: config.domains,
             grants: BTreeMap::new(),
+            snap,
+            cluster_dirty: true,
+            power_model,
         }
     }
 
@@ -265,6 +404,93 @@ impl FleetWorld {
     /// Current power grants by domain id.
     pub fn grants(&self) -> &BTreeMap<u64, f64> {
         &self.grants
+    }
+
+    /// Fleet-wide demand refreshes the power model has performed (0
+    /// without a model).
+    pub fn demand_refreshes(&self) -> u64 {
+        self.power_model.as_ref().map_or(0, |m| m.refreshes)
+    }
+
+    /// The power model's steady-state cache counters `(hits, misses)`,
+    /// `(0, 0)` without a model.
+    pub fn model_cache_counters(&self) -> (u64, u64) {
+        self.power_model
+            .as_ref()
+            .map_or((0, 0), |m| (m.cache.hits(), m.cache.misses()))
+    }
+
+    /// Rebuilds the whole snapshot from authoritative state (sim,
+    /// cluster, grants map, domain specs, power model), ignoring the
+    /// incrementally-maintained copy. The incremental snapshot must be
+    /// bitwise-equal to this at every tick — the property tests pin
+    /// that; production ticks never pay this cost.
+    pub fn recompute_snapshot(&self, now: SimTime) -> TelemetrySnapshot {
+        let mut snapshot = sim_snapshot(&self.sim, now);
+        snapshot.power = Some(PowerTelemetry {
+            budget_w: self.budget_w,
+            version: self.snap.power.as_ref().map_or(0, |p| p.version),
+            domains: self
+                .domains
+                .iter()
+                .enumerate()
+                .map(|(i, d)| DomainPower {
+                    domain: d.domain,
+                    priority: d.priority,
+                    floor_w: d.floor_w,
+                    demand_w: self
+                        .power_model
+                        .as_ref()
+                        .map_or(d.demand_w, |m| m.recompute_demand_for(i)),
+                    granted_w: self.grants.get(&d.domain).copied().unwrap_or(d.floor_w),
+                })
+                .collect(),
+        });
+        let failed: Vec<usize> = self
+            .cluster
+            .servers()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_failed())
+            .map(|(i, _)| i)
+            .collect();
+        snapshot.cluster = Some(ClusterTelemetry {
+            healthy_servers: self.cluster.servers().len() - failed.len(),
+            failed_servers: failed,
+            packing_density: self.cluster.packing_density(),
+            parked_vms: self.parked.clone(),
+        });
+        snapshot
+    }
+
+    /// Updates one power row in place (rows are in ascending domain-id
+    /// order) and bumps the section version. Returns `false` for an
+    /// unknown domain.
+    fn set_grant_row(&mut self, domain: u64, granted_w: f64) -> bool {
+        let power = self.snap.power.as_mut().expect("fleet models power");
+        match power.domains.binary_search_by_key(&domain, |d| d.domain) {
+            Ok(i) => {
+                power.domains[i].granted_w = granted_w;
+                power.version += 1;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Recomputes demand rows after a fleet-wide frequency change (only
+    /// with a power model attached; `bins.len()` distinct solves cover
+    /// the whole fleet).
+    fn refresh_demands(&mut self, ratio: f64) {
+        let Some(model) = &mut self.power_model else {
+            return;
+        };
+        model.solve_bins(ratio);
+        let power = self.snap.power.as_mut().expect("fleet models power");
+        for (i, row) in power.domains.iter_mut().enumerate() {
+            row.demand_w = model.demand_for(i);
+        }
+        power.version += 1;
     }
 
     /// Re-points `vm_map` after a failover: cluster ids that vanished
@@ -309,37 +535,31 @@ impl World for FleetWorld {
         }
     }
 
-    fn telemetry(&mut self, now: SimTime) -> TelemetrySnapshot {
-        let mut snapshot = sim_snapshot(&self.sim, now);
-        snapshot.power = Some(PowerTelemetry {
-            budget_w: self.budget_w,
-            domains: self
-                .domains
-                .iter()
-                .map(|d| DomainPower {
-                    domain: d.domain,
-                    priority: d.priority,
-                    floor_w: d.floor_w,
-                    demand_w: d.demand_w,
-                    granted_w: self.grants.get(&d.domain).copied().unwrap_or(d.floor_w),
-                })
-                .collect(),
-        });
-        let failed: Vec<usize> = self
-            .cluster
-            .servers()
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_failed())
-            .map(|(i, _)| i)
-            .collect();
-        snapshot.cluster = Some(ClusterTelemetry {
-            healthy_servers: self.cluster.servers().len() - failed.len(),
-            failed_servers: failed,
-            packing_density: self.cluster.packing_density(),
-            parked_vms: self.parked.clone(),
-        });
-        snapshot
+    fn telemetry(&mut self, now: SimTime) -> &TelemetrySnapshot {
+        // VM rows carry the tick's wall-clock sample, so they are
+        // refilled every tick — but into the persistent buffer, with
+        // no allocation at steady state. The power section was kept
+        // current at actuation time; the cluster section is recomputed
+        // only when placement state actually moved.
+        sim_snapshot_into(&self.sim, now, &mut self.snap);
+        if self.cluster_dirty {
+            let cluster = self.snap.cluster.as_mut().expect("fleet models placement");
+            cluster.failed_servers.clear();
+            cluster.failed_servers.extend(
+                self.cluster
+                    .servers()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_failed())
+                    .map(|(i, _)| i),
+            );
+            cluster.healthy_servers = self.cluster.servers().len() - cluster.failed_servers.len();
+            cluster.packing_density = self.cluster.packing_density();
+            cluster.parked_vms.clear();
+            cluster.parked_vms.extend_from_slice(&self.parked);
+            self.cluster_dirty = false;
+        }
+        &self.snap
     }
 
     fn apply(&mut self, now: SimTime, _source: &'static str, action: &Action) -> Outcome {
@@ -350,12 +570,13 @@ impl World for FleetWorld {
                     if let Some(pos) = self.vm_map.iter().position(|&(v, _)| v == *vm) {
                         let (_, cid) = self.vm_map.remove(pos);
                         let _ = self.cluster.delete_vm(now, cid);
+                        self.cluster_dirty = true;
                     }
                 }
                 outcome
             }
             Action::GrantPower { domain, watts } => {
-                if self.domains.iter().any(|d| d.domain == *domain) {
+                if self.set_grant_row(*domain, *watts) {
                     self.grants.insert(*domain, *watts);
                     Outcome::PowerGranted {
                         domain: *domain,
@@ -369,6 +590,13 @@ impl World for FleetWorld {
             }
             Action::RevokePower { domain } => {
                 if self.grants.remove(domain).is_some() {
+                    let floor = self
+                        .domains
+                        .iter()
+                        .find(|d| d.domain == *domain)
+                        .map(|d| d.floor_w)
+                        .expect("grant existed, so the domain does");
+                    self.set_grant_row(*domain, floor);
                     Outcome::Applied
                 } else {
                     Outcome::Rejected {
@@ -386,6 +614,7 @@ impl World for FleetWorld {
                             self.parked.push(vm);
                         }
                     }
+                    self.cluster_dirty = true;
                     Outcome::FailedOver {
                         recreated: report.recreated.len(),
                         unplaced: report.unplaced.len(),
@@ -396,7 +625,10 @@ impl World for FleetWorld {
                 },
             },
             Action::RepairServer { server } => match self.cluster.repair_server(now, *server) {
-                Ok(()) => Outcome::Applied,
+                Ok(()) => {
+                    self.cluster_dirty = true;
+                    Outcome::Applied
+                }
                 Err(_) => Outcome::Rejected {
                     reason: "unknown server",
                 },
@@ -413,6 +645,7 @@ impl World for FleetWorld {
                         let host = self.cluster.vm(cid).map(|v| v.host).unwrap_or(0);
                         let new_vm = self.sim.add_vm() as u64;
                         self.vm_map.push((new_vm, cid));
+                        self.cluster_dirty = true;
                         Outcome::Migrated {
                             vm: new_vm,
                             to: host,
@@ -423,6 +656,13 @@ impl World for FleetWorld {
                     },
                 }
             }
+            Action::SetFrequency {
+                target: FreqTarget::Fleet,
+                ratio,
+            } => {
+                self.refresh_demands(*ratio);
+                apply_to_sim(&mut self.sim, action)
+            }
             _ => apply_to_sim(&mut self.sim, action),
         }
     }
@@ -432,6 +672,7 @@ impl World for FleetWorld {
             Ok(cid) => {
                 let vm = self.sim.add_vm() as u64;
                 self.vm_map.push((vm, cid));
+                self.cluster_dirty = true;
                 Outcome::VmCreated { vm }
             }
             Err(_) => Outcome::Rejected {
@@ -513,7 +754,7 @@ mod tests {
     #[test]
     fn fleet_world_serves_power_and_cluster_telemetry() {
         let mut world = FleetWorld::new(FleetConfig::small(3));
-        let snap = world.telemetry(SimTime::ZERO);
+        let snap = world.telemetry(SimTime::ZERO).clone();
         assert_eq!(snap.vms.len(), 1);
         let power = snap.power.expect("fleet models power");
         assert_eq!(power.domains.len(), 2);
@@ -542,7 +783,7 @@ mod tests {
                 watts: 222.0
             }
         );
-        let snap = world.telemetry(SimTime::ZERO);
+        let snap = world.telemetry(SimTime::ZERO).clone();
         let d1 = &snap.power.unwrap().domains[1];
         assert_eq!(d1.granted_w, 222.0);
         assert!(world
@@ -663,6 +904,129 @@ mod tests {
             }
         );
         assert_eq!(world.telemetry(SimTime::from_secs(1)).vms.len(), 1);
+    }
+
+    /// Drives `world` through `steps` random actuations (scale, power,
+    /// frequency, failure, repair, migration) and asserts after every
+    /// step — sometimes with intervening telemetry reads, sometimes
+    /// with several actions batched between reads — that the
+    /// incrementally maintained snapshot is bitwise-identical to a
+    /// from-scratch recompute.
+    fn check_incremental_matches_recompute(mut world: FleetWorld, seed: u64, steps: usize) {
+        use ic_sim::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut t = SimTime::ZERO;
+        let servers = world.cluster().servers().len();
+        for step in 0..steps {
+            t += SimDuration::from_secs_f64(rng.uniform_range(0.1, 5.0));
+            world.advance_to(t);
+            match rng.index(9) {
+                0 => {
+                    let _ = world.apply(
+                        t,
+                        "prop",
+                        &Action::ScaleOut {
+                            latency: SimDuration::from_secs(30),
+                            interference: 0.32,
+                        },
+                    );
+                    let _ = world.complete_scale_out(t);
+                }
+                1 => {
+                    let vms: Vec<u64> =
+                        world.sim().active_ids().iter().map(|&v| v as u64).collect();
+                    if vms.len() > 1 {
+                        let vm = vms[rng.index(vms.len())];
+                        let _ = world.apply(t, "prop", &Action::ScaleIn { vm });
+                    }
+                }
+                2 => {
+                    let ratio = [1.0, 1.05, 1.1, 1.15, 1.2][rng.index(5)];
+                    let _ = world.apply(
+                        t,
+                        "prop",
+                        &Action::SetFrequency {
+                            target: FreqTarget::Fleet,
+                            ratio,
+                        },
+                    );
+                }
+                3 => {
+                    let domain = rng.index(3) as u64; // includes an unknown id
+                    let watts = rng.uniform_range(150.0, 305.0);
+                    let _ = world.apply(t, "prop", &Action::GrantPower { domain, watts });
+                }
+                4 => {
+                    let domain = rng.index(3) as u64;
+                    let _ = world.apply(t, "prop", &Action::RevokePower { domain });
+                }
+                5 => {
+                    let server = rng.index(servers);
+                    let _ = world.apply(t, "prop", &Action::FailServer { server });
+                }
+                6 => {
+                    let server = rng.index(servers);
+                    let _ = world.apply(t, "prop", &Action::RepairServer { server });
+                }
+                7 => {
+                    if !world.parked().is_empty() {
+                        let vm = world.parked()[rng.index(world.parked().len())];
+                        let _ = world.apply(t, "prop", &Action::Migrate { vm });
+                    }
+                }
+                _ => {
+                    let share = rng.uniform_range(0.5, 1.0);
+                    let _ = world.apply(t, "prop", &Action::SetShare { share });
+                }
+            }
+            // Sometimes skip the read so dirt accumulates across
+            // several actuations before the next refresh.
+            if rng.index(3) == 0 {
+                continue;
+            }
+            let expect = world.recompute_snapshot(t);
+            let got = world.telemetry(t);
+            assert_eq!(got, &expect, "divergence at step {step} (seed {seed})");
+        }
+        let expect = world.recompute_snapshot(t);
+        assert_eq!(
+            world.telemetry(t),
+            &expect,
+            "final divergence (seed {seed})"
+        );
+    }
+
+    #[test]
+    fn incremental_snapshot_matches_recompute_under_random_actuation() {
+        for seed in [11, 52, 93] {
+            let mut config = FleetConfig::small(seed);
+            config.initial_vms = 3;
+            check_incremental_matches_recompute(FleetWorld::new(config), seed, 120);
+        }
+    }
+
+    #[test]
+    fn incremental_snapshot_matches_recompute_with_physical_power_model() {
+        use ic_thermal::fluid::DielectricFluid;
+        for seed in [7, 41] {
+            let mut config = FleetConfig::small(seed);
+            config.initial_vms = 3;
+            config.power_model = Some(PowerModelSpec {
+                sku: CpuSku::xeon_w3175x(),
+                bins: (0..3)
+                    .map(|b| {
+                        ThermalInterface::two_phase(
+                            DielectricFluid::hfe7000(),
+                            0.084 + 0.002 * b as f64,
+                            0.0,
+                        )
+                    })
+                    .collect(),
+                base_ghz: 3.4,
+            });
+            let world = FleetWorld::new(config);
+            check_incremental_matches_recompute(world, seed, 120);
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod telemetry;
 
 pub use action::{Action, FreqTarget, Outcome};
 pub use controller::{Controller, TickReport, World};
-pub use fleet::{DomainSpec, FleetConfig, FleetWorld};
+pub use fleet::{DomainSpec, FleetConfig, FleetWorld, PowerModelSpec};
 pub use plane::{ControlPlane, ControllerId};
 pub use telemetry::{
     ClusterTelemetry, DomainPower, PowerTelemetry, TelemetrySnapshot, VmTelemetry,

@@ -201,7 +201,7 @@ impl<W: World + 'static> ControlPlane<W> {
 
         let snapshot = state.world.telemetry(now);
         let source = state.entries[idx].controller.name();
-        let actions = state.entries[idx].controller.observe(&snapshot);
+        let actions = state.entries[idx].controller.observe(snapshot);
         let decided = actions.len();
         for action in &actions {
             let outcome = state.world.apply(now, source, action);

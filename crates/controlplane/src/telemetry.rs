@@ -15,7 +15,7 @@ use ic_telemetry::counters::CounterSample;
 
 /// Per-VM telemetry: the cumulative counter sample plus instantaneous
 /// queue state, exactly what the paper's Equation-1 control loop reads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmTelemetry {
     /// The VM id (stable across ticks while the VM lives).
     pub vm: u64,
@@ -28,7 +28,7 @@ pub struct VmTelemetry {
 }
 
 /// One power domain's demand and current grant.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DomainPower {
     /// Domain id (socket or server index).
     pub domain: u64,
@@ -43,16 +43,23 @@ pub struct DomainPower {
 }
 
 /// Fleet-level power state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerTelemetry {
     /// The provisioned budget shared by all domains.
     pub budget_w: f64,
+    /// Monotone change counter: the world bumps this whenever any
+    /// domain's demand or grant changes. Controllers whose decision is
+    /// a pure function of the power section may skip their scan when
+    /// the version matches the previous tick's — the inputs are
+    /// guaranteed identical, so the decision (and emitted actions)
+    /// would be too.
+    pub version: u64,
     /// Per-domain demand/grant, in stable domain-id order.
     pub domains: Vec<DomainPower>,
 }
 
 /// Cluster placement state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTelemetry {
     /// Servers currently healthy.
     pub healthy_servers: usize,
@@ -67,10 +74,11 @@ pub struct ClusterTelemetry {
 
 /// Everything a controller may observe at one control tick.
 ///
-/// Assembled fresh by [`crate::World::telemetry`] each tick — snapshots
-/// are values, never live references, so observing cannot mutate the
-/// world and every controller at the same tick sees identical state.
-#[derive(Debug, Clone, Default)]
+/// Handed out by [`crate::World::telemetry`] each tick as a borrowed
+/// view into state the world maintains incrementally — observing cannot
+/// mutate the world (controllers get `&TelemetrySnapshot`) and every
+/// controller at the same tick sees identical state.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetrySnapshot {
     /// The tick's simulation time.
     pub now: SimTime,
@@ -91,9 +99,13 @@ impl TelemetrySnapshot {
         }
     }
 
-    /// The telemetry row for `vm`, if it is active.
+    /// The telemetry row for `vm`, if it is active. `vms` is kept in
+    /// ascending VM-id order, so this is a binary search.
     pub fn vm(&self, vm: u64) -> Option<&VmTelemetry> {
-        self.vms.iter().find(|v| v.vm == vm)
+        self.vms
+            .binary_search_by_key(&vm, |v| v.vm)
+            .ok()
+            .map(|i| &self.vms[i])
     }
 }
 

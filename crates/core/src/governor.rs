@@ -134,6 +134,30 @@ impl OverclockGovernor {
         &self.cache
     }
 
+    /// Batch-solves the entire ceiling-search ladder — every bin the
+    /// lifetime and power searches can visit, 40 bins up from base —
+    /// into the memo table in one structure-of-arrays pass. The batch
+    /// solver is bitwise-equal to the scalar path, so every later
+    /// [`decide`](Self::decide) returns exactly what it would have
+    /// computed lazily; only the solve cost moves up front.
+    pub fn prewarm(&self) {
+        let mut ladder: Vec<(Frequency, ic_power::units::Voltage)> = Vec::with_capacity(40);
+        let mut f = self.sku.base();
+        for _ in 0..40 {
+            f = f.step_bins(1);
+            ladder.push((f, self.sku.voltage_for(f)));
+        }
+        let points: Vec<ic_power::batch::BatchPoint<'_>> = ladder
+            .iter()
+            .map(|&(f, v)| ic_power::batch::BatchPoint {
+                iface: &self.iface,
+                f,
+                v,
+            })
+            .collect();
+        self.cache.steady_state_batch(&self.sku, &points);
+    }
+
     /// The highest frequency the stability envelope permits: the stable
     /// ratio applied to the 2PIC all-core turbo.
     pub fn stability_ceiling(&self) -> Frequency {

@@ -1,0 +1,206 @@
+//! Structure-of-arrays batch solver for the steady-state fixed point.
+//!
+//! [`CpuSku::steady_state`] runs a 64-iteration power/temperature
+//! fixed point one operating point at a time. Fleet-scale callers —
+//! re-deriving per-domain demand after a fleet-wide frequency change,
+//! prewarming a frequency ladder — need the same solve across hundreds
+//! of points at once. [`steady_state_batch`] runs the identical
+//! per-point iteration over lane chunks: the SKU's calibration
+//! constants are loaded once per chunk, the per-lane state (dynamic
+//! power, running power, junction temperature) lives in small
+//! contiguous arrays, and converged lanes drop out of the loop via a
+//! mask instead of a branch out of the chunk.
+//!
+//! Bitwise equivalence with the scalar path is load-bearing (the
+//! control plane's determinism guarantees sit on top of it), so every
+//! lane executes exactly the float-op sequence of
+//! [`CpuSku::steady_state`]: same seed values, same `tj.min(149.0)`
+//! clamp, same convergence test, same early exit. Lanes never mix, so
+//! chunk composition cannot perturb a lane's result. The equivalence
+//! property test in this module pins that.
+
+use crate::cpu::{CpuSku, SteadyState};
+use crate::units::{Frequency, Voltage};
+use ic_thermal::junction::ThermalInterface;
+
+/// One operating point in a batch solve: the thermal interface the
+/// socket dissipates through plus the (frequency, voltage) target.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPoint<'a> {
+    /// The thermal path from junction to coolant.
+    pub iface: &'a ThermalInterface,
+    /// Target core frequency.
+    pub f: Frequency,
+    /// Rail voltage at that frequency.
+    pub v: Voltage,
+}
+
+/// Lanes per chunk. Eight f64 lanes span one or two cache lines per
+/// state array, enough for the compiler to unroll the per-iteration
+/// sweep while keeping the converged-lane mask cheap to scan.
+const LANES: usize = 8;
+
+/// Solves the steady-state fixed point for every point in `points`,
+/// appending one [`SteadyState`] per point to `out` in request order.
+///
+/// Bitwise-identical to calling [`CpuSku::steady_state`] per point.
+pub fn steady_state_batch_into(
+    sku: &CpuSku,
+    points: &[BatchPoint<'_>],
+    out: &mut Vec<SteadyState>,
+) {
+    out.reserve(points.len());
+    let leakage = *sku.leakage();
+    for chunk in points.chunks(LANES) {
+        let n = chunk.len();
+        let mut dyn_w = [0.0f64; LANES];
+        let mut power = [0.0f64; LANES];
+        let mut tj = [0.0f64; LANES];
+        let mut ref_c = [0.0f64; LANES];
+        let mut r_c_per_w = [0.0f64; LANES];
+        let mut volts = [Voltage::from_mv(1); LANES];
+        let mut active = [false; LANES];
+        for (l, p) in chunk.iter().enumerate() {
+            // Seed exactly as the scalar solver does: power starts at
+            // the dynamic term, tj at the junction temperature that
+            // power alone produces.
+            dyn_w[l] = sku.dynamic_power_w(p.f, p.v);
+            power[l] = dyn_w[l];
+            tj[l] = p.iface.junction_temp_c(power[l]);
+            ref_c[l] = p.iface.reference_temp_c();
+            r_c_per_w[l] = p.iface.resistance_c_per_w();
+            volts[l] = p.v;
+            active[l] = true;
+        }
+        for _ in 0..64 {
+            let mut any_active = false;
+            for l in 0..n {
+                if !active[l] {
+                    continue;
+                }
+                // The scalar iteration, verbatim: leakage at the
+                // clamped junction temperature, total power, junction
+                // update (reference + resistance × power, the exact
+                // `junction_temp_c` expression), absolute-tolerance
+                // convergence test.
+                let static_w = leakage.power_w(tj[l].min(149.0), volts[l]);
+                let next = dyn_w[l] + static_w;
+                tj[l] = ref_c[l] + r_c_per_w[l] * next;
+                if (next - power[l]).abs() < 1e-9 {
+                    power[l] = next;
+                    active[l] = false;
+                } else {
+                    power[l] = next;
+                    any_active = true;
+                }
+            }
+            if !any_active {
+                break;
+            }
+        }
+        for l in 0..n {
+            out.push(SteadyState {
+                power_w: power[l],
+                tj_c: tj[l],
+                static_w: power[l] - dyn_w[l],
+            });
+        }
+    }
+}
+
+/// Allocating convenience wrapper over [`steady_state_batch_into`].
+pub fn steady_state_batch(sku: &CpuSku, points: &[BatchPoint<'_>]) -> Vec<SteadyState> {
+    let mut out = Vec::with_capacity(points.len());
+    steady_state_batch_into(sku, points, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_sim::rng::SimRng;
+    use ic_thermal::fluid::DielectricFluid;
+
+    fn interfaces() -> Vec<ThermalInterface> {
+        vec![
+            ThermalInterface::air(35.0, 12.1, 0.21),
+            ThermalInterface::two_phase(DielectricFluid::fc3284(), 0.08, 1.6),
+            ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_for_bit() {
+        let skus = [CpuSku::skylake_8180(), CpuSku::xeon_w3175x()];
+        let ifaces = interfaces();
+        let mut rng = SimRng::seed_from_u64(7);
+        for sku in &skus {
+            // Random batch sizes, including partial chunks and sizes
+            // around the lane boundary.
+            for len in [0usize, 1, 3, 7, 8, 9, 16, 23, 100] {
+                let points: Vec<(usize, Frequency, Voltage)> = (0..len)
+                    .map(|_| {
+                        let f = Frequency::from_mhz(1200 + rng.index(3000) as u32);
+                        (rng.index(ifaces.len()), f, sku.voltage_for(f))
+                    })
+                    .collect();
+                let batch_points: Vec<BatchPoint<'_>> = points
+                    .iter()
+                    .map(|&(i, f, v)| BatchPoint {
+                        iface: &ifaces[i],
+                        f,
+                        v,
+                    })
+                    .collect();
+                let batch = steady_state_batch(sku, &batch_points);
+                assert_eq!(batch.len(), len);
+                for (&(i, f, v), got) in points.iter().zip(&batch) {
+                    let want = sku.steady_state(&ifaces[i], f, v);
+                    assert_eq!(
+                        (
+                            want.power_w.to_bits(),
+                            want.tj_c.to_bits(),
+                            want.static_w.to_bits()
+                        ),
+                        (
+                            got.power_w.to_bits(),
+                            got.tj_c.to_bits(),
+                            got.static_w.to_bits()
+                        ),
+                        "{} at {} MHz on iface {i}",
+                        sku.name(),
+                        f.mhz(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_results_do_not_depend_on_chunk_neighbors() {
+        // The same point solved alone and surrounded by different
+        // neighbors must agree bitwise — lanes never mix.
+        let sku = CpuSku::xeon_w3175x();
+        let ifaces = interfaces();
+        let f = Frequency::from_ghz(4.1);
+        let v = sku.voltage_for(f);
+        let probe = BatchPoint {
+            iface: &ifaces[2],
+            f,
+            v,
+        };
+        let alone = steady_state_batch(&sku, &[probe])[0];
+        let mut crowd = vec![
+            BatchPoint {
+                iface: &ifaces[0],
+                f: Frequency::from_ghz(2.1),
+                v: sku.voltage_for(Frequency::from_ghz(2.1)),
+            };
+            7
+        ];
+        crowd.push(probe);
+        let crowded = *steady_state_batch(&sku, &crowd).last().unwrap();
+        assert_eq!(alone.power_w.to_bits(), crowded.power_w.to_bits());
+        assert_eq!(alone.tj_c.to_bits(), crowded.tj_c.to_bits());
+    }
+}

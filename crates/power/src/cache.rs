@@ -25,6 +25,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
+use crate::batch::BatchPoint;
 use crate::cpu::{CpuSku, SteadyState};
 use crate::units::{Frequency, Voltage, BIN_MHZ};
 use ic_obs::flight::FlightHandle;
@@ -139,6 +140,89 @@ impl SteadyStateCache {
             );
         }
         ss
+    }
+
+    /// The batched equivalent of calling
+    /// [`steady_state`](Self::steady_state) once per point, in order:
+    /// same results (bitwise), same hit/miss counter trajectory, same
+    /// flight-instant sequence. Distinct uncached points are solved in
+    /// one structure-of-arrays pass ([`crate::batch`]); cached points
+    /// and within-batch duplicates short-circuit as hits exactly as
+    /// they would sequentially.
+    ///
+    /// Appends one result per point to `out` in request order.
+    pub fn steady_state_batch_into(
+        &self,
+        sku: &CpuSku,
+        points: &[BatchPoint<'_>],
+        out: &mut Vec<SteadyState>,
+    ) {
+        // Pass 1: find first occurrences of keys the map does not hold.
+        // Batches repeat a few distinct operating points many times
+        // (heterogeneity bins, ladder rungs), so a linear scan over the
+        // small first-occurrence list beats hashing every request.
+        let mut fresh: Vec<(OperatingPointKey, usize)> = Vec::new();
+        {
+            let map = self.map.borrow();
+            for (i, p) in points.iter().enumerate() {
+                let key = OperatingPointKey::new(sku, p.iface, p.f, p.v);
+                if !map.contains_key(&key) && !fresh.iter().any(|&(k, _)| k == key) {
+                    fresh.push((key, i));
+                }
+            }
+        }
+        // One batch solve over the distinct new points.
+        let solve_points: Vec<BatchPoint<'_>> = fresh.iter().map(|&(_, i)| points[i]).collect();
+        let solved = crate::batch::steady_state_batch(sku, &solve_points);
+        // Pass 2: replay in request order so counters, insertions, and
+        // flight instants land in the exact sequence sequential calls
+        // would produce (a first occurrence is a miss inserted before
+        // the next request is examined; everything else is a hit).
+        let mut next_fresh = 0usize;
+        out.reserve(points.len());
+        for (i, p) in points.iter().enumerate() {
+            if next_fresh < fresh.len() && fresh[next_fresh].1 == i {
+                let key = fresh[next_fresh].0;
+                let ss = solved[next_fresh];
+                next_fresh += 1;
+                self.misses.set(self.misses.get() + 1);
+                self.map.borrow_mut().insert(key, ss);
+                if let Some(flight) = self.flight.borrow().as_ref() {
+                    flight.borrow_mut().instant(
+                        "steady_cache",
+                        "miss_solve_insert",
+                        TraceLevel::Info,
+                        vec![
+                            ("mhz", Value::U64(p.f.mhz() as u64)),
+                            ("mv", Value::U64(p.v.mv() as u64)),
+                            ("size", Value::U64(self.map.borrow().len() as u64)),
+                        ],
+                    );
+                }
+                out.push(ss);
+            } else {
+                let key = OperatingPointKey::new(sku, p.iface, p.f, p.v);
+                let ss = *self.map.borrow().get(&key).expect("resolved in pass 1");
+                self.hits.set(self.hits.get() + 1);
+                if let Some(flight) = self.flight.borrow().as_ref() {
+                    flight.borrow_mut().instant(
+                        "steady_cache",
+                        "hit",
+                        TraceLevel::Debug,
+                        vec![("mhz", Value::U64(p.f.mhz() as u64))],
+                    );
+                }
+                out.push(ss);
+            }
+        }
+    }
+
+    /// Allocating wrapper over
+    /// [`steady_state_batch_into`](Self::steady_state_batch_into).
+    pub fn steady_state_batch(&self, sku: &CpuSku, points: &[BatchPoint<'_>]) -> Vec<SteadyState> {
+        let mut out = Vec::with_capacity(points.len());
+        self.steady_state_batch_into(sku, points, &mut out);
+        out
     }
 
     /// The memoized equivalent of [`CpuSku::max_turbo`]: the same
@@ -371,6 +455,66 @@ mod tests {
         }
         assert!(cache.hits() >= 500, "every second lookup must hit");
         assert!(cache.hit_rate() >= 0.5);
+    }
+
+    #[test]
+    fn batch_matches_sequential_including_cache_hit_interleavings() {
+        // Property test: a batched lookup over a random mix of repeated
+        // and fresh points — against a cache that is itself randomly
+        // pre-warmed — must match per-point sequential calls exactly:
+        // same results bitwise, same hit/miss counter trajectory.
+        let mut rng = SimRng::seed_from_u64(88);
+        let skus = skus();
+        let ifaces = interfaces();
+        for round in 0..20 {
+            let sku = &skus[rng.index(skus.len())];
+            let batched = SteadyStateCache::new();
+            let sequential = SteadyStateCache::new();
+            // Pre-warm both caches identically with a few points.
+            for _ in 0..rng.index(4) {
+                let f = Frequency::from_mhz(1200 + 100 * rng.index(30) as u32);
+                let v = sku.voltage_for(f);
+                let iface = &ifaces[rng.index(ifaces.len())];
+                batched.steady_state(sku, iface, f, v);
+                sequential.steady_state(sku, iface, f, v);
+            }
+            // Draw from a small pool so the batch holds duplicates of
+            // both cached and uncached points, interleaved.
+            let pool: Vec<(usize, Frequency)> = (0..4)
+                .map(|_| {
+                    (
+                        rng.index(ifaces.len()),
+                        Frequency::from_mhz(1200 + 100 * rng.index(30) as u32),
+                    )
+                })
+                .collect();
+            let picks: Vec<(usize, Frequency, Voltage)> = (0..rng.index(40))
+                .map(|_| {
+                    let (i, f) = pool[rng.index(pool.len())];
+                    (i, f, sku.voltage_for(f))
+                })
+                .collect();
+            let points: Vec<BatchPoint<'_>> = picks
+                .iter()
+                .map(|&(i, f, v)| BatchPoint {
+                    iface: &ifaces[i],
+                    f,
+                    v,
+                })
+                .collect();
+            let got = batched.steady_state_batch(sku, &points);
+            let want: Vec<SteadyState> = picks
+                .iter()
+                .map(|&(i, f, v)| sequential.steady_state(sku, &ifaces[i], f, v))
+                .collect();
+            assert_eq!(got, want, "round {round}");
+            assert_eq!(
+                (batched.hits(), batched.misses()),
+                (sequential.hits(), sequential.misses()),
+                "round {round} counter trajectory"
+            );
+            assert_eq!(batched.len(), sequential.len(), "round {round}");
+        }
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub struct PowerGrant {
     pub capped: bool,
 }
 
+/// Reusable working buffers for
+/// [`PowerAllocator::try_allocate_into`]: the priority-sorted index
+/// permutation and the per-request running grants. One instance per
+/// control loop; contents are scratch only (cleared on every call).
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    order: Vec<usize>,
+    granted: Vec<f64>,
+}
+
 /// A fixed power budget shared by prioritized consumers.
 ///
 /// # Example
@@ -142,6 +152,24 @@ impl PowerAllocator {
     /// Grants are returned in the same order as `requests`. A request
     /// with `demand_w < floor_w` or negative values is rejected.
     pub fn try_allocate(&self, requests: &[PowerRequest]) -> Result<Vec<PowerGrant>, CapError> {
+        let mut out = Vec::with_capacity(requests.len());
+        self.try_allocate_into(requests, &mut AllocScratch::default(), &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reusing form of [`try_allocate`](Self::try_allocate):
+    /// identical grants (bitwise — same arithmetic in the same order),
+    /// but the sort order and per-request working state live in
+    /// `scratch` and the grants land in `out` (cleared first), so a
+    /// per-tick caller allocates nothing once the buffers have grown to
+    /// the fleet size.
+    pub fn try_allocate_into(
+        &self,
+        requests: &[PowerRequest],
+        scratch: &mut AllocScratch,
+        out: &mut Vec<PowerGrant>,
+    ) -> Result<(), CapError> {
+        out.clear();
         for r in requests {
             if !(r.floor_w >= 0.0 && r.demand_w >= r.floor_w && r.demand_w.is_finite()) {
                 return Err(CapError::InvalidRequest { request: r.clone() });
@@ -151,10 +179,14 @@ impl PowerAllocator {
         let mut remaining = (self.budget_w - floors).max(0.0);
 
         // Group indexes by priority, highest class served first.
-        let mut order: Vec<usize> = (0..requests.len()).collect();
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(0..requests.len());
         order.sort_by(|&a, &b| requests[b].priority.cmp(&requests[a].priority));
 
-        let mut granted: Vec<f64> = requests.iter().map(|r| r.floor_w).collect();
+        let granted = &mut scratch.granted;
+        granted.clear();
+        granted.extend(requests.iter().map(|r| r.floor_w));
         let mut i = 0;
         while i < order.len() {
             // Collect the whole priority class.
@@ -190,15 +222,17 @@ impl PowerAllocator {
             i = j;
         }
 
-        Ok(requests
-            .iter()
-            .zip(granted)
-            .map(|(r, g)| PowerGrant {
-                id: r.id,
-                granted_w: g,
-                capped: g < r.demand_w - 1e-9,
-            })
-            .collect())
+        out.extend(
+            requests
+                .iter()
+                .zip(granted.iter())
+                .map(|(r, &g)| PowerGrant {
+                    id: r.id,
+                    granted_w: g,
+                    capped: g < r.demand_w - 1e-9,
+                }),
+        );
+        Ok(())
     }
 
     /// Panicking shorthand for [`PowerAllocator::try_allocate`], for

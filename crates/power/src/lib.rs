@@ -18,7 +18,10 @@
 //! * [`capping`] — RAPL-style priority-aware power capping for
 //!   oversubscribed power delivery infrastructure,
 //! * [`cache`] — memoized steady-state solves and precomputed per-SKU
-//!   operating-point tables for sweep-style callers.
+//!   operating-point tables for sweep-style callers,
+//! * [`batch`] — a structure-of-arrays batch solver running the same
+//!   fixed point across many operating points per pass, bitwise-equal
+//!   to the scalar path.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 //! assert_eq!((tank_turbo.ghz() - air_turbo.ghz() * 1.0) .max(0.0) > 0.05, true);
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod capping;
 pub mod cpu;

@@ -114,6 +114,29 @@ impl RaplController {
         &self.cache
     }
 
+    /// Solves every frequency bin the loop can visit — the ladder from
+    /// `floor` to `target` — in one batch pass, so subsequent
+    /// [`step`](Self::step)/[`settle`](Self::settle) calls are pure
+    /// cache hits. The batch solver is bitwise-equal to the scalar
+    /// path, so the settled trajectory is unchanged; only the cache's
+    /// miss accounting moves from the first settle into the prewarm.
+    pub fn prewarm(&mut self, sku: &CpuSku, iface: &ThermalInterface) {
+        let mut ladder: Vec<(Frequency, crate::units::Voltage)> = Vec::new();
+        let mut f = self.floor;
+        loop {
+            ladder.push((f, sku.voltage_for(f)));
+            if f >= self.target {
+                break;
+            }
+            f = f.step_bins(1).clamp(self.floor, self.target);
+        }
+        let points: Vec<crate::batch::BatchPoint<'_>> = ladder
+            .iter()
+            .map(|&(f, v)| crate::batch::BatchPoint { iface, f, v })
+            .collect();
+        self.cache.steady_state_batch(sku, &points);
+    }
+
     /// Advances the loop one control period against the socket model.
     pub fn step(&mut self, sku: &CpuSku, iface: &ThermalInterface) -> RaplStep {
         let v = sku.voltage_for(self.current);
@@ -282,6 +305,28 @@ mod tests {
         // Distinct bins solved: at most the ladder between floor and
         // target (14 bins), each at two key roles (current + predictive).
         assert!(cache.len() <= 15, "distinct points {}", cache.len());
+    }
+
+    #[test]
+    fn prewarm_keeps_the_trajectory_and_eliminates_settle_misses() {
+        let sku = CpuSku::skylake_8180();
+        let mut cold =
+            RaplController::new(RaplConfig::pl1(205.0), sku.base(), Frequency::from_ghz(3.3));
+        let mut warm =
+            RaplController::new(RaplConfig::pl1(205.0), sku.base(), Frequency::from_ghz(3.3));
+        warm.prewarm(&sku, &tank());
+        let prewarm_misses = warm.cache().misses();
+        assert!(prewarm_misses > 0);
+        for _ in 0..200 {
+            let a = cold.step(&sku, &tank());
+            let b = warm.step(&sku, &tank());
+            assert_eq!(a, b, "prewarmed trajectory must be bitwise-identical");
+        }
+        assert_eq!(
+            warm.cache().misses(),
+            prewarm_misses,
+            "every bin the loop visits was prewarmed"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! with `n` active cores, each core may run as fast as the TDP allows
 //! when only `n/total` of the dynamic power is being drawn.
 
+use crate::batch::BatchPoint;
 use crate::cache::SteadyStateCache;
 use crate::cpu::CpuSku;
 use crate::units::Frequency;
@@ -38,8 +39,26 @@ impl TurboTable {
         let mut entries = Vec::with_capacity(total as usize);
         // Every active-core count scans the same frequency ladder, so
         // the (f, v) steady states repeat `total` times over — memoize
-        // them across the derivation.
+        // them across the derivation, and solve the whole ladder up
+        // front in one structure-of-arrays pass. The batch solver is
+        // bitwise-equal to the scalar path, so every ladder point the
+        // scans below read has the exact value a lazy solve would have
+        // produced — the derived entries are unchanged.
         let cache = SteadyStateCache::new();
+        let mut ladder: Vec<(Frequency, crate::units::Voltage)> = Vec::new();
+        let mut f = sku.base();
+        for _ in 0..40 {
+            f = f.step_bins(1);
+            if f > single_core_cap {
+                break;
+            }
+            ladder.push((f, sku.voltage_for(f)));
+        }
+        let points: Vec<BatchPoint<'_>> = ladder
+            .iter()
+            .map(|&(f, v)| BatchPoint { iface, f, v })
+            .collect();
+        cache.steady_state_batch(sku, &points);
         for active in 1..=total {
             // Dynamic power scales with the active share; leakage is
             // whole-die. Find the highest bin whose scaled steady-state

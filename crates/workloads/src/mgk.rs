@@ -71,6 +71,9 @@ struct Inner {
     qps: f64,
     arrival_chain_live: bool,
     vms: Vec<VmState>,
+    /// Ids of active VMs in ascending order — maintained on add/remove so
+    /// the per-arrival router never rebuilds (or allocates) the list.
+    active_ids: Vec<VmId>,
     rr_next: usize,
     completed: Vec<(SimTime, f64)>,
     dropped: u64,
@@ -86,19 +89,22 @@ struct Inner {
 }
 
 impl Inner {
-    fn active_vm_ids(&self) -> Vec<VmId> {
-        (0..self.vms.len())
-            .filter(|&i| self.vms[i].active)
-            .collect()
-    }
-
     fn route(&mut self) -> Option<VmId> {
-        let active = self.active_vm_ids();
+        let active = &self.active_ids;
         if active.is_empty() {
             return None;
         }
-        let id = active[self.rr_next % active.len()];
-        self.rr_next = (self.rr_next + 1) % active.len().max(1);
+        let n = active.len();
+        // `rr_next` stays `< n` across routes (the wrap below re-derives
+        // `(rr_next + 1) % n` exactly); only a VM removal can strand it
+        // at/above `n`, so the two hot-path integer divisions reduce to
+        // predictable branches without changing the routing sequence.
+        let mut pos = self.rr_next;
+        if pos >= n {
+            pos %= n;
+        }
+        let id = active[pos];
+        self.rr_next = if pos + 1 == n { 0 } else { pos + 1 };
         Some(id)
     }
 }
@@ -158,6 +164,7 @@ impl ClientServerSim {
                 qps: 0.0,
                 arrival_chain_live: false,
                 vms: Vec::new(),
+                active_ids: Vec::new(),
                 rr_next: 0,
                 completed: Vec::new(),
                 dropped: 0,
@@ -210,6 +217,7 @@ impl ClientServerSim {
             active: true,
             completed: 0,
         });
+        self.inner.active_ids.push(id);
         id
     }
 
@@ -222,12 +230,63 @@ impl ClientServerSim {
     pub fn remove_vm(&mut self, id: VmId) -> bool {
         let was_active = self.inner.vms[id].active;
         self.inner.vms[id].active = false;
+        if was_active {
+            // `active_ids` is ascending, so the slot is found by binary
+            // search; removal preserves the order.
+            let pos = self
+                .inner
+                .active_ids
+                .binary_search(&id)
+                .expect("active VM is in the routing list");
+            self.inner.active_ids.remove(pos);
+        }
         was_active
     }
 
-    /// The ids of currently active VMs.
+    /// The ids of currently active VMs, ascending.
     pub fn active_vms(&self) -> Vec<VmId> {
-        self.inner.active_vm_ids()
+        self.inner.active_ids.clone()
+    }
+
+    /// The ids of currently active VMs, ascending, without copying —
+    /// the allocation-free counterpart of [`active_vms`]
+    /// (telemetry assembly reads this every control tick).
+    ///
+    /// [`active_vms`]: Self::active_vms
+    pub fn active_ids(&self) -> &[VmId] {
+        &self.inner.active_ids
+    }
+
+    /// Sets every active VM's frequency ratio in one pass — the
+    /// fleet-wide actuation path, equivalent to calling
+    /// [`set_freq_ratio`](Self::set_freq_ratio) per active VM but
+    /// without materializing the id list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ratio is not strictly positive.
+    pub fn set_freq_ratio_all(&mut self, ratio: f64) {
+        assert!(ratio > 0.0 && ratio.is_finite(), "invalid ratio {ratio}");
+        let inner = &mut self.inner;
+        for i in 0..inner.active_ids.len() {
+            let id = inner.active_ids[i];
+            inner.vms[id].freq_ratio = ratio;
+        }
+    }
+
+    /// Sets every active VM's pcore share in one pass (see
+    /// [`set_share`](Self::set_share)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is outside `(0, 1]`.
+    pub fn set_share_all(&mut self, share: f64) {
+        assert!(share > 0.0 && share <= 1.0, "invalid share {share}");
+        let inner = &mut self.inner;
+        for i in 0..inner.active_ids.len() {
+            let id = inner.active_ids[i];
+            inner.vms[id].share = share;
+        }
     }
 
     /// Sets the client load in queries per second. `0.0` stops arrivals.
@@ -345,8 +404,15 @@ fn arrival_event(inner: &mut Inner, engine: &mut Engine<Inner>) {
     match inner.route() {
         Some(vm_id) => {
             let vm = &mut inner.vms[vm_id];
-            vm.queue.push_back(Arrival { at: now, demand_s });
-            try_dispatch(inner, engine, vm_id);
+            if vm.busy < vm.vcores {
+                // A core is free, so the queue is empty (dispatch drains
+                // it whenever a core frees up): skip the queue round-trip
+                // and put the request straight into service.
+                debug_assert!(vm.queue.is_empty());
+                dispatch_one(inner, engine, vm_id, Arrival { at: now, demand_s });
+            } else {
+                vm.queue.push_back(Arrival { at: now, demand_s });
+            }
         }
         None => inner.dropped += 1,
     }
@@ -364,31 +430,38 @@ fn try_dispatch(inner: &mut Inner, engine: &mut Engine<Inner>, vm_id: VmId) {
         let Some(req) = vm.queue.pop_front() else {
             return;
         };
-        vm.busy += 1;
-        let speed = vm.freq_ratio * vm.share;
-        let service_s = req.demand_s / speed;
-        let record = InFlight {
-            vm_id,
-            service_s,
-            arrival_at: req.at,
-            freq_hz: BASE_FREQ_HZ * vm.freq_ratio,
-            stall: vm.stall_fraction,
-        };
-        let slot = match inner.free_slots.pop() {
-            Some(s) => {
-                inner.inflight[s as usize] = record;
-                s
-            }
-            None => {
-                inner.inflight.push(record);
-                (inner.inflight.len() - 1) as u32
-            }
-        };
-        engine.schedule_in(
-            SimDuration::from_secs_f64(service_s),
-            move |inner: &mut Inner, engine: &mut Engine<Inner>| complete(inner, engine, slot),
-        );
+        dispatch_one(inner, engine, vm_id, req);
     }
+}
+
+/// Puts `req` into service on `vm_id` (which must have a free core) and
+/// schedules its completion.
+fn dispatch_one(inner: &mut Inner, engine: &mut Engine<Inner>, vm_id: VmId, req: Arrival) {
+    let vm = &mut inner.vms[vm_id];
+    vm.busy += 1;
+    let speed = vm.freq_ratio * vm.share;
+    let service_s = req.demand_s / speed;
+    let record = InFlight {
+        vm_id,
+        service_s,
+        arrival_at: req.at,
+        freq_hz: BASE_FREQ_HZ * vm.freq_ratio,
+        stall: vm.stall_fraction,
+    };
+    let slot = match inner.free_slots.pop() {
+        Some(s) => {
+            inner.inflight[s as usize] = record;
+            s
+        }
+        None => {
+            inner.inflight.push(record);
+            (inner.inflight.len() - 1) as u32
+        }
+    };
+    engine.schedule_in(
+        SimDuration::from_secs_f64(service_s),
+        move |inner: &mut Inner, engine: &mut Engine<Inner>| complete(inner, engine, slot),
+    );
 }
 
 fn complete(inner: &mut Inner, engine: &mut Engine<Inner>, slot: u32) {

@@ -135,6 +135,7 @@ fn main() {
     let cluster = world
         .telemetry(end)
         .cluster
+        .clone()
         .expect("fleet models placement");
     println!(
         "  served {} requests, P95 {:.1} ms",

@@ -90,7 +90,7 @@ fn composed_digest(seed: u64) -> String {
     let mut world = plane.into_world();
     let completions = world.sim_mut().take_completions();
     let snap = world.telemetry(end);
-    let cluster = snap.cluster.expect("fleet models placement");
+    let cluster = snap.cluster.clone().expect("fleet models placement");
     format!(
         "ticks={ticks} events={} completed={} vms={} parked={} failed={:?} \
          grants={:?} gov={:.4}GHz/{:?} boost={boosted} completions={completions:?}",
