@@ -1,6 +1,17 @@
 //! Runs the composed control-plane experiment (ASC + capping +
-//! governor + failover); pass --quick for a shortened schedule.
+//! governor + failover); pass --quick for a shortened schedule and
+//! --v2 for the v2 sampler stream.
+use ic_sim::rng::StreamVersion;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    print!("{}", ic_bench::experiments::composed::composed(quick));
+    let version = if std::env::args().any(|a| a == "--v2") {
+        StreamVersion::V2
+    } else {
+        StreamVersion::V1
+    };
+    print!(
+        "{}",
+        ic_bench::experiments::composed::composed(version, quick)
+    );
 }

@@ -11,6 +11,11 @@
 //! - latency keys may not exceed `TOLERANCE` times the baseline;
 //! - `steady_cache_hit_rate` has an absolute floor (the cache is
 //!   worthless below it regardless of what the baseline said);
+//! - `normal_ns_per_sample_v2` has an absolute ceiling: the ziggurat
+//!   draw must stay under [`MAX_NORMAL_V2_NS`] regardless of baseline;
+//! - `mgk_events_per_sec_v2` must hold [`MIN_V2_SPEEDUP`]× over the v1
+//!   value *in the same snapshot* — a same-host ratio, so runner speed
+//!   cancels out and the gate is immune to machine-to-machine drift;
 //! - `schema` must match exactly, so stale baselines fail loudly;
 //! - context keys (`mode`, `par_workers`) are reported but never gate.
 //!
@@ -28,8 +33,18 @@ pub const TOLERANCE: f64 = 3.0;
 /// Absolute floor for `steady_cache_hit_rate`.
 pub const MIN_CACHE_HIT_RATE: f64 = 0.5;
 
+/// Absolute ceiling (nanoseconds) for `normal_ns_per_sample_v2`: the
+/// issue target for the ziggurat draw. Unlike the relative rules this
+/// is a hard number — a v2 normal draw slower than this means the fast
+/// path is gone, whatever the baseline recorded.
+pub const MAX_NORMAL_V2_NS: f64 = 8.0;
+
+/// Minimum same-snapshot speedup the v2 sampler stream must hold over
+/// v1 (`mgk_events_per_sec_v2 / mgk_events_per_sec`).
+pub const MIN_V2_SPEEDUP: f64 = 1.5;
+
 /// How a key is judged against the baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Rule {
     /// String values must match exactly.
     ExactStr,
@@ -41,11 +56,18 @@ enum Rule {
     TimeCeiling,
     /// Absolute floor: `current >= MIN_CACHE_HIT_RATE`.
     HitRateFloor,
+    /// Absolute ceiling on the current value, baseline ignored.
+    AbsCeiling(f64),
+    /// Intra-snapshot ratio floor: the current value must be at least
+    /// `min` times the named key *of the same (current) snapshot*.
+    /// Both sides move with runner speed, so the ratio is host-invariant
+    /// in a way baseline-relative rules cannot be.
+    RatioFloor(&'static str, f64),
     /// Reported for context, never fails.
     Info,
 }
 
-/// Every key of the `ic-bench/kernels/v4` snapshot with its rule.
+/// Every key of the `ic-bench/kernels/v5` snapshot with its rule.
 const RULES: &[(&str, Rule)] = &[
     ("schema", Rule::ExactStr),
     ("mode", Rule::Info),
@@ -53,11 +75,21 @@ const RULES: &[(&str, Rule)] = &[
     ("engine_ms_per_100k_events", Rule::TimeCeiling),
     ("engine_steady_events_per_sec", Rule::RateFloor),
     ("engine_steady_allocs_per_event", Rule::Zero),
+    ("normal_ns_per_sample_v1", Rule::TimeCeiling),
+    (
+        "normal_ns_per_sample_v2",
+        Rule::AbsCeiling(MAX_NORMAL_V2_NS),
+    ),
     ("mgk_events_per_sec", Rule::RateFloor),
+    (
+        "mgk_events_per_sec_v2",
+        Rule::RatioFloor("mgk_events_per_sec", MIN_V2_SPEEDUP),
+    ),
     ("mgk_boxed_events", Rule::Zero),
     ("table11_wall_ms", Rule::TimeCeiling),
     ("sweep_runs_per_sec", Rule::RateFloor),
     ("composed_ctrl_ticks_per_sec", Rule::RateFloor),
+    ("composed_ctrl_ticks_per_sec_v2", Rule::RateFloor),
     ("fleet_snapshot_ns_per_vm", Rule::TimeCeiling),
     ("fleet10k_ctrl_ticks_per_sec", Rule::RateFloor),
     ("steady_cache_hit_rate", Rule::HitRateFloor),
@@ -164,6 +196,21 @@ fn judge(rule: Rule, key: &'static str, baseline: &Json, current: &Json) -> KeyR
                 format!("current={c:.4} (floor: {MIN_CACHE_HIT_RATE})"),
             ))
         }
+        Rule::AbsCeiling(limit) => {
+            let c = num(current, key)?;
+            Ok((
+                c <= limit,
+                format!("current={c:.3} (absolute ceiling: {limit})"),
+            ))
+        }
+        Rule::RatioFloor(over, min) => {
+            let c = num(current, key)?;
+            let denom = num(current, over)?;
+            Ok((
+                c >= min * denom,
+                format!("current={c:.3} vs {min}x current {over}={denom:.3} (same-snapshot floor)"),
+            ))
+        }
     })();
     match judged {
         Ok((passed, detail)) => KeyResult {
@@ -208,7 +255,7 @@ pub fn check(baseline: &str, current: &str) -> Result<CheckReport, String> {
 mod tests {
     use super::*;
 
-    const BASELINE: &str = r#"{"schema":"ic-bench/kernels/v4","mode":"quick","engine_events_per_sec":22918209.2,"engine_ms_per_100k_events":4.363,"engine_steady_events_per_sec":26229326.6,"engine_steady_allocs_per_event":0,"mgk_events_per_sec":8930852.6,"mgk_boxed_events":0,"table11_wall_ms":1617.3,"sweep_runs_per_sec":6.6,"composed_ctrl_ticks_per_sec":120.0,"fleet_snapshot_ns_per_vm":45.0,"fleet10k_ctrl_ticks_per_sec":300.0,"steady_cache_hit_rate":0.996,"par_workers":1}"#;
+    const BASELINE: &str = r#"{"schema":"ic-bench/kernels/v5","mode":"quick","engine_events_per_sec":22918209.2,"engine_ms_per_100k_events":4.363,"engine_steady_events_per_sec":26229326.6,"engine_steady_allocs_per_event":0,"normal_ns_per_sample_v1":30.5,"normal_ns_per_sample_v2":5.6,"mgk_events_per_sec":8930852.6,"mgk_events_per_sec_v2":14500000.0,"mgk_boxed_events":0,"table11_wall_ms":1617.3,"sweep_runs_per_sec":6.6,"composed_ctrl_ticks_per_sec":120.0,"composed_ctrl_ticks_per_sec_v2":240.0,"fleet_snapshot_ns_per_vm":45.0,"fleet10k_ctrl_ticks_per_sec":300.0,"steady_cache_hit_rate":0.996,"par_workers":1}"#;
 
     #[test]
     fn identical_snapshot_passes_every_key() {
@@ -267,7 +314,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_and_missing_key_fail() {
-        let wrong_schema = BASELINE.replace("kernels/v4", "kernels/v1");
+        let wrong_schema = BASELINE.replace("kernels/v5", "kernels/v4");
         assert!(!check(BASELINE, &wrong_schema).unwrap().passed());
         let missing = BASELINE.replace("\"table11_wall_ms\":1617.3,", "");
         let report = check(BASELINE, &missing).unwrap();
@@ -310,6 +357,56 @@ mod tests {
         assert!(report
             .render()
             .contains("FAIL  fleet10k_ctrl_ticks_per_sec"));
+    }
+
+    #[test]
+    fn v2_normal_ceiling_is_absolute_not_relative() {
+        // Even when baseline and current agree, a v2 normal draw above
+        // the 8 ns ceiling fails: the target is the issue's, not the
+        // baseline's.
+        let slow = BASELINE.replace(
+            "\"normal_ns_per_sample_v2\":5.6",
+            "\"normal_ns_per_sample_v2\":9.1",
+        );
+        let report = check(&slow, &slow).unwrap();
+        assert!(!report.passed());
+        assert!(report.render().contains("FAIL  normal_ns_per_sample_v2"));
+        assert!(report.render().contains("absolute ceiling"));
+    }
+
+    #[test]
+    fn v2_speedup_is_judged_within_one_snapshot() {
+        // mgk v2 dropping under 1.5x the *current* v1 value fails even
+        // though both keys individually clear the 3x baseline slack.
+        let current = BASELINE.replace(
+            "\"mgk_events_per_sec_v2\":14500000.0",
+            "\"mgk_events_per_sec_v2\":9000000.0",
+        );
+        let report = check(BASELINE, &current).unwrap();
+        assert!(!report.passed());
+        let failed: Vec<&str> = report
+            .results
+            .iter()
+            .filter(|r| !r.passed)
+            .map(|r| r.key)
+            .collect();
+        assert_eq!(failed, ["mgk_events_per_sec_v2"], "{}", report.render());
+        // And the ratio tracks the snapshot's own v1 value: a slower
+        // runner where both streams scale down together still passes.
+        let slow_host = BASELINE
+            .replace(
+                "\"mgk_events_per_sec\":8930852.6",
+                "\"mgk_events_per_sec\":4465426.3",
+            )
+            .replace(
+                "\"mgk_events_per_sec_v2\":14500000.0",
+                "\"mgk_events_per_sec_v2\":7250000.0",
+            );
+        assert!(
+            check(BASELINE, &slow_host).unwrap().passed(),
+            "{}",
+            check(BASELINE, &slow_host).unwrap().render()
+        );
     }
 
     #[test]

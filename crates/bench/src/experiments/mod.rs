@@ -52,13 +52,21 @@ mod tests {
     fn json_report_covers_every_experiment() {
         let out = run_all_json(true);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 25, "one record per experiment");
+        assert_eq!(lines.len(), 26, "one record per experiment");
         for line in &lines {
             assert!(line.starts_with("{\"id\":\""), "{line}");
             assert!(line.ends_with("]}"), "{line}");
         }
         for id in [
-            "table1", "table3", "table5", "table11", "fig12", "fig15", "fig16", "composed",
+            "table1",
+            "table3",
+            "table5",
+            "table11",
+            "fig12",
+            "fig15",
+            "fig16",
+            "composed",
+            "composed_v2",
         ] {
             assert!(
                 lines

@@ -15,6 +15,7 @@ use ic_obs::flight::FlightHandle;
 use ic_obs::trace::TraceLevel;
 use ic_par::ParPool;
 use ic_scenario::Scenario;
+use ic_sim::rng::StreamVersion;
 use std::fmt;
 use std::time::Instant;
 
@@ -184,7 +185,7 @@ impl Experiment for FnExperiment {
 /// All experiments in paper order, plus the composed control-plane
 /// run (not a paper artifact — the reproduction's own end-to-end
 /// demonstration, so it sits last).
-static REGISTRY: [FnExperiment; 25] = [
+static REGISTRY: [FnExperiment; 26] = [
     FnExperiment {
         id: "table1",
         title: "Table I: cooling technologies",
@@ -349,9 +350,9 @@ static REGISTRY: [FnExperiment; 25] = [
     FnExperiment {
         id: "composed",
         title: "Composed control plane: ASC + capping + governor + failover",
-        render: |_, m| composed::composed(m.is_quick()),
-        metrics: Some(|_, m| composed::composed_record(m.is_quick())),
-        traced: Some(|_, m, f| composed::composed_record_traced(m.is_quick(), f)),
+        render: |s, m| composed::composed(s.rng_stream, m.is_quick()),
+        metrics: Some(|s, m| composed::composed_record(s.rng_stream, m.is_quick())),
+        traced: Some(|s, m, f| composed::composed_record_traced(s.rng_stream, m.is_quick(), f)),
     },
     FnExperiment {
         id: "fleet_scale",
@@ -359,6 +360,17 @@ static REGISTRY: [FnExperiment; 25] = [
         render: |_, m| fleet_scale::fleet_scale(m.is_quick()),
         metrics: Some(|_, m| fleet_scale::fleet_scale_record(m.is_quick())),
         traced: Some(|_, m, f| fleet_scale::fleet_scale_record_traced(m.is_quick(), f)),
+    },
+    // Appended after every pre-versioning record so the first 25 ids
+    // (and their byte-identical v1 output) keep their positions.
+    FnExperiment {
+        id: "composed_v2",
+        title: "Composed control plane on the v2 sampler stream",
+        render: |_, m| composed::composed(StreamVersion::V2, m.is_quick()),
+        metrics: Some(|_, m| composed::composed_record(StreamVersion::V2, m.is_quick())),
+        traced: Some(|_, m, f| {
+            composed::composed_record_traced(StreamVersion::V2, m.is_quick(), f)
+        }),
     },
 ];
 
@@ -500,13 +512,15 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_in_paper_order() {
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 25);
+        assert_eq!(ids.len(), 26);
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), ids.len(), "duplicate experiment id");
         assert_eq!(ids.first(), Some(&"table1"));
-        assert_eq!(ids.last(), Some(&"fleet_scale"));
+        // Every pre-versioning id keeps its position; v2 variants append.
+        assert_eq!(ids[24], "fleet_scale");
+        assert_eq!(ids.last(), Some(&"composed_v2"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ use ic_power::cache::SteadyStateCache;
 use ic_power::capping::Priority;
 use ic_power::cpu::{CpuSku, SteadyState};
 use ic_power::units::Frequency;
+use ic_sim::rng::StreamVersion;
 use ic_sim::time::SimTime;
 use ic_thermal::junction::ThermalInterface;
 use ic_workloads::mgk::ClientServerSim;
@@ -164,6 +165,11 @@ pub struct FleetConfig {
     /// Physical demand model; `None` keeps the static
     /// [`DomainSpec::demand_w`] asks.
     pub power_model: Option<PowerModelSpec>,
+    /// Sampler stream version of the workload sim.
+    /// [`StreamVersion::V1`] (the default) replays the historical value
+    /// sequence byte-for-byte; [`StreamVersion::V2`] runs the buffered
+    /// ziggurat fast path.
+    pub rng_stream: StreamVersion,
 }
 
 impl FleetConfig {
@@ -199,6 +205,7 @@ impl FleetConfig {
                 },
             ],
             power_model: None,
+            rng_stream: StreamVersion::V1,
         }
     }
 }
@@ -292,12 +299,13 @@ impl FleetWorld {
     ///
     /// Panics if the cluster cannot hold `initial_vms`.
     pub fn new(config: FleetConfig) -> Self {
-        let mut sim = ClientServerSim::new(
+        let mut sim = ClientServerSim::with_stream_version(
             config.seed,
             config.service_mean_s,
             config.service_scv,
             config.vcores_per_vm,
             config.stall_fraction,
+            config.rng_stream,
         );
         let mut cluster = Cluster::new(
             vec![ServerSpec::open_compute(); config.servers],

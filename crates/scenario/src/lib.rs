@@ -17,6 +17,7 @@
 //! which makes `paper() → JSON → from_json` reproduce every field
 //! bit-for-bit.
 
+use ic_sim::StreamVersion;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
@@ -93,6 +94,12 @@ pub fn intern(s: &str) -> &'static str {
 pub struct Scenario {
     /// Human-readable scenario name.
     pub name: String,
+    /// Sampler stream version experiments built from this scenario use
+    /// (see [`StreamVersion`]). `v1` replays every historical record
+    /// byte-for-byte; `v2` selects the buffered ziggurat fast path with
+    /// a different (still seed-deterministic) value sequence. Scenario
+    /// JSON written before this field existed decodes as `v1`.
+    pub rng_stream: StreamVersion,
     /// Fluids, platform fits, and tank prototypes (`ic-thermal`).
     pub thermal: ThermalCalibration,
     /// V/f anchors and the leakage model (`ic-power`).
@@ -375,6 +382,8 @@ impl Scenario {
     pub fn paper() -> Scenario {
         Scenario {
             name: "paper".to_string(),
+            // The paper's records predate stream versioning: pinned v1.
+            rng_stream: StreamVersion::V1,
             thermal: ThermalCalibration::paper(),
             power: PowerCalibration::paper(),
             reliability: ReliabilityCalibration::paper(),
@@ -1038,6 +1047,7 @@ impl Scenario {
     fn to_tree(&self) -> Json {
         obj(vec![
             ("name", s(&self.name)),
+            ("rng_stream", s(self.rng_stream.name())),
             ("thermal", self.thermal.to_tree()),
             ("power", self.power.to_tree()),
             ("reliability", self.reliability.to_tree()),
@@ -1046,8 +1056,21 @@ impl Scenario {
     }
 
     fn from_tree(v: &Json, path: &str) -> Result<Scenario, ScenarioError> {
+        // Absent in every scenario file written before stream versioning
+        // existed; those must keep decoding (as the v1 they were).
+        let rng_stream = match v.get("rng_stream") {
+            None => StreamVersion::V1,
+            Some(Json::Str(text)) => StreamVersion::parse(text).ok_or_else(|| {
+                schema(
+                    path,
+                    format!("unknown rng_stream '{text}' (expected 'v1' or 'v2')"),
+                )
+            })?,
+            Some(_) => return Err(schema(path, "field 'rng_stream' must be a string")),
+        };
         Ok(Scenario {
             name: str_field(v, "name", path)?,
+            rng_stream,
             thermal: ThermalCalibration::from_tree(
                 field(v, "thermal", path)?,
                 &format!("{path}.thermal"),
@@ -1539,6 +1562,32 @@ mod tests {
         let text = paper.to_json();
         let back = Scenario::from_json(&text).expect("round trip");
         assert_eq!(back, paper);
+    }
+
+    #[test]
+    fn rng_stream_round_trips_and_defaults_to_v1() {
+        // The paper scenario is pinned to the v1 stream.
+        let paper = Scenario::paper();
+        assert_eq!(paper.rng_stream, StreamVersion::V1);
+        assert!(paper.to_json().contains("\"rng_stream\": \"v1\""));
+
+        // v2 survives the round trip.
+        let mut fast = paper.clone();
+        fast.rng_stream = StreamVersion::V2;
+        let back = Scenario::from_json(&fast.to_json()).expect("v2 round trip");
+        assert_eq!(back.rng_stream, StreamVersion::V2);
+
+        // Pre-versioning scenario JSON (no field at all) decodes as v1.
+        let mut legacy = paper.to_json();
+        legacy = legacy.replace("  \"rng_stream\": \"v1\",\n", "");
+        assert!(!legacy.contains("rng_stream"));
+        let back = Scenario::from_json(&legacy).expect("legacy decode");
+        assert_eq!(back.rng_stream, StreamVersion::V1);
+
+        // Unknown versions are rejected, not silently coerced.
+        let bad = paper.to_json().replace("\"v1\"", "\"v3\"");
+        let err = Scenario::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("rng_stream"), "{err}");
     }
 
     #[test]

@@ -11,9 +11,75 @@
 //! All distributions report their analytic [`mean`](Dist::mean) and
 //! [squared coefficient of variation](Dist::scv), which the M/G/k latency
 //! approximations in `ic-workloads` consume.
+//!
+//! Two sampling front-ends share one set of transform helpers: the
+//! [`Dist`] trait (dynamic dispatch, convenient for composition) and the
+//! [`DistKind`] enum (static dispatch, for hot loops). Both produce
+//! bit-identical values for the same generator state, under either
+//! [stream version](crate::rng::StreamVersion); [`DrawBuffer`] layers
+//! batched refills on top of `DistKind` without changing the per-stream
+//! value sequence.
 
-use crate::rng::SimRng;
+use crate::rng::{SimRng, StreamVersion};
 use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Shared transform helpers.
+//
+// Every sampling front-end (the `Dist` impls, `DistKind::sample`, and
+// `DrawBuffer` refills) funnels through these functions, which is what
+// makes the trait and enum paths bit-identical by construction. Each
+// helper consumes the generator exactly as the original inline
+// expression did on v1 streams, so the restructuring is invisible to
+// every pre-versioning record (IEEE-754 negation and sign propagation
+// through multiplication are exact).
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn sample_exponential(mean: f64, rng: &mut SimRng) -> f64 {
+    // v1: bit-identical to the historical `-mean * (1 - u).ln()`.
+    mean * rng.standard_exp()
+}
+
+#[inline]
+fn sample_lognormal(mu: f64, sigma: f64, rng: &mut SimRng) -> f64 {
+    let z = rng.standard_normal();
+    match rng.version() {
+        // v1: libm `exp`, exactly as the pre-versioning code.
+        StreamVersion::V1 => (mu + sigma * z).exp(),
+        // v2: the in-crate polynomial `exp` — bit-identical across
+        // platforms and call-free, so the bulk refill pass vectorizes.
+        StreamVersion::V2 => crate::zig::fast_exp(mu + sigma * z),
+    }
+}
+
+#[inline]
+fn sample_pareto(scale: f64, inv_shape: f64, rng: &mut SimRng) -> f64 {
+    self::pareto_from_uniform(scale, inv_shape, rng.uniform())
+}
+
+#[inline]
+fn pareto_from_uniform(scale: f64, inv_shape: f64, u: f64) -> f64 {
+    scale / (1.0 - u).powf(inv_shape)
+}
+
+#[inline]
+fn sample_erlang(k: u32, stage_mean: f64, rng: &mut SimRng) -> f64 {
+    match rng.version() {
+        // v1: k independent log draws, summed in stage order — the
+        // historical fold, preserved bit-for-bit.
+        StreamVersion::V1 => (0..k).map(|_| stage_mean * rng.standard_exp()).sum(),
+        // v2: a sum of k exponentials is the log of a product of k
+        // uniforms — one `ln` total instead of k.
+        StreamVersion::V2 => {
+            let mut prod = 1.0;
+            for _ in 0..k {
+                prod *= 1.0 - rng.uniform();
+            }
+            -stage_mean * prod.ln()
+        }
+    }
+}
 
 /// A sampleable, positive-valued probability distribution.
 ///
@@ -104,8 +170,8 @@ impl Exponential {
 
 impl Dist for Exponential {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        // Inverse CDF on (0, 1] to avoid ln(0).
-        -self.mean * (1.0 - rng.uniform()).ln()
+        // Inverse CDF on (0, 1] (v1) or the ziggurat (v2).
+        sample_exponential(self.mean, rng)
     }
     fn mean(&self) -> f64 {
         self.mean
@@ -154,7 +220,7 @@ impl LogNormal {
 
 impl Dist for LogNormal {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        (self.mu + self.sigma * rng.standard_normal()).exp()
+        sample_lognormal(self.mu, self.sigma, rng)
     }
     fn mean(&self) -> f64 {
         (self.mu + self.sigma * self.sigma / 2.0).exp()
@@ -191,7 +257,7 @@ impl Pareto {
 
 impl Dist for Pareto {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        self.scale / (1.0 - rng.uniform()).powf(1.0 / self.shape)
+        sample_pareto(self.scale, 1.0 / self.shape, rng)
     }
     fn mean(&self) -> f64 {
         self.shape * self.scale / (self.shape - 1.0)
@@ -228,9 +294,7 @@ impl Erlang {
 
 impl Dist for Erlang {
     fn sample(&self, rng: &mut SimRng) -> f64 {
-        (0..self.k)
-            .map(|_| -self.stage_mean * (1.0 - rng.uniform()).ln())
-            .sum()
+        sample_erlang(self.k, self.stage_mean, rng)
     }
     fn mean(&self) -> f64 {
         self.stage_mean * self.k as f64
@@ -289,6 +353,265 @@ impl Dist for Empirical {
     }
     fn scv(&self) -> f64 {
         self.scv
+    }
+}
+
+/// A devirtualized distribution: every law the [`Dist`] trait covers, as
+/// one enum with an inlineable [`sample`](DistKind::sample).
+///
+/// Hot loops that draw millions of variates per second (the M/G/k
+/// arrival/service path) pay for `dyn Dist`'s pointer-chasing call on
+/// every event; matching on a `DistKind` instead compiles to a direct
+/// branch the predictor resolves for free. The enum also caches derived
+/// constants the trait structs recompute per draw (the Pareto `1/α`;
+/// the lognormal's `(mu, sigma)` are carried verbatim so the cached and
+/// trait paths stay bit-identical).
+///
+/// `DistKind` implements [`Dist`] itself, so it can still be boxed where
+/// composition wants dynamic dispatch — sampling through either front
+/// end produces the same bits for the same generator state (a property
+/// the test suite pins for every variant under both stream versions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistKind {
+    /// Point mass at a value.
+    Deterministic {
+        /// The value every sample returns.
+        value: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// The distribution mean (`1/λ`).
+        mean: f64,
+    },
+    /// Lognormal with underlying-normal parameters.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto with cached reciprocal shape.
+    Pareto {
+        /// Scale (`x_m`).
+        scale: f64,
+        /// Shape (`α`).
+        shape: f64,
+        /// Cached `1/α`, so the per-draw `powf` exponent costs no divide.
+        inv_shape: f64,
+    },
+    /// Erlang-`k` as stage count and per-stage mean.
+    Erlang {
+        /// Number of exponential stages.
+        k: u32,
+        /// Mean of each stage (`mean / k`).
+        stage_mean: f64,
+    },
+    /// Uniform draw over observed values.
+    Empirical(Empirical),
+}
+
+impl DistKind {
+    /// Draws one sample. Bit-identical to the corresponding [`Dist`]
+    /// impl for the same generator state, under either stream version.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            DistKind::Deterministic { value } => *value,
+            DistKind::Exponential { mean } => sample_exponential(*mean, rng),
+            DistKind::LogNormal { mu, sigma } => sample_lognormal(*mu, *sigma, rng),
+            DistKind::Pareto {
+                scale, inv_shape, ..
+            } => sample_pareto(*scale, *inv_shape, rng),
+            DistKind::Erlang { k, stage_mean } => sample_erlang(*k, *stage_mean, rng),
+            DistKind::Empirical(e) => e.values[rng.index(e.values.len())],
+        }
+    }
+
+    /// The analytic mean (see [`Dist::mean`]).
+    pub fn mean(&self) -> f64 {
+        match self {
+            DistKind::Deterministic { value } => *value,
+            DistKind::Exponential { mean } => *mean,
+            DistKind::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            DistKind::Pareto { scale, shape, .. } => shape * scale / (shape - 1.0),
+            DistKind::Erlang { k, stage_mean } => stage_mean * *k as f64,
+            DistKind::Empirical(e) => e.mean,
+        }
+    }
+
+    /// The squared coefficient of variation (see [`Dist::scv`]).
+    pub fn scv(&self) -> f64 {
+        match self {
+            DistKind::Deterministic { .. } => 0.0,
+            DistKind::Exponential { .. } => 1.0,
+            DistKind::LogNormal { sigma, .. } => (sigma * sigma).exp() - 1.0,
+            DistKind::Pareto { shape, .. } => 1.0 / (shape * (shape - 2.0)),
+            DistKind::Erlang { k, .. } => 1.0 / *k as f64,
+            DistKind::Empirical(e) => e.scv,
+        }
+    }
+}
+
+impl Dist for DistKind {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        DistKind::sample(self, rng)
+    }
+    fn mean(&self) -> f64 {
+        DistKind::mean(self)
+    }
+    fn scv(&self) -> f64 {
+        DistKind::scv(self)
+    }
+}
+
+impl From<Deterministic> for DistKind {
+    fn from(d: Deterministic) -> Self {
+        DistKind::Deterministic { value: d.value }
+    }
+}
+
+impl From<Exponential> for DistKind {
+    fn from(d: Exponential) -> Self {
+        DistKind::Exponential { mean: d.mean }
+    }
+}
+
+impl From<LogNormal> for DistKind {
+    fn from(d: LogNormal) -> Self {
+        DistKind::LogNormal {
+            mu: d.mu,
+            sigma: d.sigma,
+        }
+    }
+}
+
+impl From<Pareto> for DistKind {
+    fn from(d: Pareto) -> Self {
+        DistKind::Pareto {
+            scale: d.scale,
+            shape: d.shape,
+            inv_shape: 1.0 / d.shape,
+        }
+    }
+}
+
+impl From<Erlang> for DistKind {
+    fn from(d: Erlang) -> Self {
+        DistKind::Erlang {
+            k: d.k,
+            stage_mean: d.stage_mean,
+        }
+    }
+}
+
+impl From<Empirical> for DistKind {
+    fn from(d: Empirical) -> Self {
+        DistKind::Empirical(d)
+    }
+}
+
+/// Number of samples a [`DrawBuffer`] materializes per refill.
+///
+/// Large enough to amortize the RNG state round-trip and let the
+/// compiler vectorize the transform passes; small enough (8 KiB) to
+/// stay resident in L1.
+pub const DRAW_BUFFER_LEN: usize = 1024;
+
+/// A reusable per-stream batch of pre-drawn samples.
+///
+/// `DrawBuffer` owns a dedicated generator and fills
+/// [`DRAW_BUFFER_LEN`] variates in one tight loop, which consumers then
+/// take one at a time via [`next`](DrawBuffer::next). Because the
+/// generator is exclusive to the buffer, the delivered value sequence
+/// is exactly what repeated [`DistKind::sample`] calls on that
+/// generator would produce — batching changes *when* the transforms
+/// run, never *what* they return (pinned by test). The win is
+/// mechanical: one buffer refill loads the RNG state once for 1024
+/// draws, and split transform passes (z-fill, then `exp`) vectorize
+/// where the one-at-a-time path cannot.
+///
+/// The backing storage is allocated once at construction and reused for
+/// every refill — steady-state sampling is allocation-free, matching
+/// the DES hot path's discipline.
+#[derive(Debug, Clone)]
+pub struct DrawBuffer {
+    dist: DistKind,
+    rng: SimRng,
+    buf: Vec<f64>,
+    pos: usize,
+}
+
+impl DrawBuffer {
+    /// Creates a buffer drawing from `dist` with the dedicated
+    /// generator `rng`. No samples are drawn until first use.
+    pub fn new(dist: DistKind, rng: SimRng) -> Self {
+        DrawBuffer {
+            dist,
+            rng,
+            buf: Vec::with_capacity(DRAW_BUFFER_LEN),
+            pos: 0,
+        }
+    }
+
+    /// The next sample in the stream. Deliberately not an `Iterator`:
+    /// the stream is infinite and the hot path wants a bare `f64`, not
+    /// an `Option` to unwrap per draw.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> f64 {
+        if self.pos == self.buf.len() {
+            self.refill();
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        // First refill sizes the buffer; afterwards every slot is
+        // overwritten in place — no clear/zero-fill churn per batch.
+        if self.buf.len() != DRAW_BUFFER_LEN {
+            self.buf.resize(DRAW_BUFFER_LEN, 0.0);
+        }
+        self.pos = 0;
+        match &self.dist {
+            // Lognormal: two passes. The z-fill is sequential in the
+            // generator; the exp transform is a pure map the compiler
+            // can vectorize. Same arithmetic per element as the scalar
+            // path, so the values are identical.
+            DistKind::LogNormal { mu, sigma } => {
+                let (mu, sigma) = (*mu, *sigma);
+                for slot in self.buf.iter_mut() {
+                    *slot = self.rng.standard_normal();
+                }
+                match self.rng.version() {
+                    StreamVersion::V1 => {
+                        for slot in self.buf.iter_mut() {
+                            *slot = (mu + sigma * *slot).exp();
+                        }
+                    }
+                    StreamVersion::V2 => {
+                        for slot in self.buf.iter_mut() {
+                            *slot = crate::zig::fast_exp(mu + sigma * *slot);
+                        }
+                    }
+                }
+            }
+            // Exponential: one tight pass over the ziggurat (or the v1
+            // log path) — the mean scale is exact sign-free arithmetic.
+            DistKind::Exponential { mean } => {
+                let mean = *mean;
+                for slot in self.buf.iter_mut() {
+                    *slot = mean * self.rng.standard_exp();
+                }
+            }
+            dist => {
+                for slot in self.buf.iter_mut() {
+                    *slot = dist.sample(&mut self.rng);
+                }
+            }
+        }
     }
 }
 

@@ -37,7 +37,8 @@ pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
+pub(crate) mod zig;
 
 pub use engine::Engine;
-pub use rng::SimRng;
+pub use rng::{SimRng, StreamVersion};
 pub use time::{SimDuration, SimTime};

@@ -12,9 +12,9 @@
 //! actions (add/remove VMs, change frequency ratios) exactly as the
 //! paper's ASC does every 3 seconds.
 
-use ic_sim::dist::{Dist, LogNormal};
+use ic_sim::dist::{DistKind, DrawBuffer, LogNormal};
 use ic_sim::engine::Engine;
-use ic_sim::rng::SimRng;
+use ic_sim::rng::{SimRng, StreamVersion};
 use ic_sim::time::{SimDuration, SimTime};
 use ic_telemetry::counters::{CoreCounters, CounterSample};
 use std::collections::VecDeque;
@@ -64,11 +64,86 @@ struct InFlight {
     stall: f64,
 }
 
+/// The arrival/service variate source — the hottest sampling site in
+/// the workspace (two draws per request, millions of requests per
+/// simulated run).
+#[derive(Debug)]
+enum Samplers {
+    /// v1: one shared generator; service and inter-arrival draws
+    /// interleave on it in event order, exactly as every pre-versioning
+    /// record was produced.
+    V1 { rng: SimRng, service: DistKind },
+    /// v2: each draw family owns a dedicated buffered stream (derived
+    /// by forking the seed root, so construction is deterministic).
+    /// Refills run the ziggurat in tight batches; consumption order no
+    /// longer affects the values either family produces.
+    V2 {
+        /// Unit-mean standard-exponential gaps, scaled by `1/qps` at
+        /// consumption so load changes never invalidate the buffer.
+        gap: DrawBuffer,
+        /// Fully transformed service demands (seconds at ratio 1.0).
+        demand: DrawBuffer,
+    },
+}
+
+impl Samplers {
+    fn new(seed: u64, service: DistKind, version: StreamVersion) -> Self {
+        match version {
+            StreamVersion::V1 => Samplers::V1 {
+                rng: SimRng::seed_from_u64(seed),
+                service,
+            },
+            StreamVersion::V2 => {
+                let mut root = SimRng::seed_versioned(seed, StreamVersion::V2);
+                let gap_rng = root.fork();
+                let demand_rng = root.fork();
+                Samplers::V2 {
+                    gap: DrawBuffer::new(DistKind::Exponential { mean: 1.0 }, gap_rng),
+                    demand: DrawBuffer::new(service, demand_rng),
+                }
+            }
+        }
+    }
+
+    /// One service demand, in seconds at frequency ratio 1.0.
+    #[inline]
+    fn demand_s(&mut self) -> f64 {
+        match self {
+            Samplers::V1 { rng, service } => service.sample(rng),
+            Samplers::V2 { demand, .. } => demand.next(),
+        }
+    }
+
+    #[inline]
+    fn version(&self) -> StreamVersion {
+        match self {
+            Samplers::V1 { .. } => StreamVersion::V1,
+            Samplers::V2 { .. } => StreamVersion::V2,
+        }
+    }
+}
+
+/// Nanosecond conversion for v2-scheduled delays.
+///
+/// v2 event times are *defined* by this mapping: a truncating cast with
+/// debug-only range checks, which stays on the CPU where the v1 path's
+/// round-to-nearest (`SimDuration::from_secs_f64`) is a libm call on
+/// baseline x86-64 — worth several ns on every arrival and dispatch.
+/// v1 keeps `from_secs_f64` untouched, so every historical event time
+/// is preserved.
+#[inline]
+fn dur_v2(secs: f64) -> SimDuration {
+    debug_assert!(secs.is_finite() && secs >= 0.0, "bad v2 delay {secs}");
+    SimDuration::from_nanos((secs * 1e9) as u64)
+}
+
 #[derive(Debug)]
 struct Inner {
-    rng: SimRng,
-    service: LogNormal,
+    samplers: Samplers,
     qps: f64,
+    /// `1.0 / qps` (0 when idle), maintained by `set_qps` so the v2
+    /// arrival path multiplies instead of divides.
+    inv_qps: f64,
     arrival_chain_live: bool,
     vms: Vec<VmState>,
     /// Ids of active VMs in ascending order — maintained on add/remove so
@@ -155,13 +230,42 @@ impl ClientServerSim {
         vcores_per_vm: u32,
         stall_fraction: f64,
     ) -> Self {
+        ClientServerSim::with_stream_version(
+            seed,
+            service_mean_s,
+            service_scv,
+            vcores_per_vm,
+            stall_fraction,
+            StreamVersion::V1,
+        )
+    }
+
+    /// [`new`](Self::new) with an explicit sampler stream version.
+    ///
+    /// [`StreamVersion::V1`] replays the historical value sequence
+    /// byte-for-byte; [`StreamVersion::V2`] draws from dedicated
+    /// buffered ziggurat streams — a different (still seed-
+    /// deterministic) sequence that samples several times faster.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`new`](Self::new).
+    pub fn with_stream_version(
+        seed: u64,
+        service_mean_s: f64,
+        service_scv: f64,
+        vcores_per_vm: u32,
+        stall_fraction: f64,
+        version: StreamVersion,
+    ) -> Self {
         assert!(vcores_per_vm > 0, "VMs need at least one vcore");
+        let service = DistKind::from(LogNormal::with_mean_scv(service_mean_s, service_scv));
         ClientServerSim {
             engine: Engine::new(),
             inner: Inner {
-                rng: SimRng::seed_from_u64(seed),
-                service: LogNormal::with_mean_scv(service_mean_s, service_scv),
+                samplers: Samplers::new(seed, service, version),
                 qps: 0.0,
+                inv_qps: 0.0,
                 arrival_chain_live: false,
                 vms: Vec::new(),
                 active_ids: Vec::new(),
@@ -298,9 +402,10 @@ impl ClientServerSim {
         assert!(qps.is_finite() && qps >= 0.0, "invalid QPS {qps}");
         let was_off = self.inner.qps == 0.0 || !self.inner.arrival_chain_live;
         self.inner.qps = qps;
+        self.inner.inv_qps = if qps > 0.0 { 1.0 / qps } else { 0.0 };
         if qps > 0.0 && was_off {
             self.inner.arrival_chain_live = true;
-            let delay = next_interarrival(&mut self.inner.rng, qps);
+            let delay = next_interarrival(&mut self.inner.samplers, qps, self.inner.inv_qps);
             self.engine.schedule_in(delay, arrival_event);
         }
     }
@@ -389,9 +494,21 @@ impl ClientServerSim {
     }
 }
 
-fn next_interarrival(rng: &mut SimRng, qps: f64) -> SimDuration {
-    let gap = -(1.0 - rng.uniform()).ln() / qps;
-    SimDuration::from_secs_f64(gap.max(1e-9))
+/// Draws the next inter-arrival delay at the current load.
+///
+/// v1 is bit-identical to the historical
+/// `-(1 - u).ln() / qps` expression (negation is exact) with the
+/// historical rounding conversion. v2 multiplies its unit-mean buffered
+/// gap by the cached `1/qps` (a multiply instead of a divide on the
+/// critical path) and converts via [`dur_v2`].
+#[inline]
+fn next_interarrival(samplers: &mut Samplers, qps: f64, inv_qps: f64) -> SimDuration {
+    match samplers {
+        Samplers::V1 { rng, .. } => {
+            SimDuration::from_secs_f64((rng.standard_exp() / qps).max(1e-9))
+        }
+        Samplers::V2 { gap, .. } => dur_v2((gap.next() * inv_qps).max(1e-9)),
+    }
 }
 
 fn arrival_event(inner: &mut Inner, engine: &mut Engine<Inner>) {
@@ -400,7 +517,7 @@ fn arrival_event(inner: &mut Inner, engine: &mut Engine<Inner>) {
         return;
     }
     let now = engine.now();
-    let demand_s = inner.service.sample(&mut inner.rng);
+    let demand_s = inner.samplers.demand_s();
     match inner.route() {
         Some(vm_id) => {
             let vm = &mut inner.vms[vm_id];
@@ -417,7 +534,7 @@ fn arrival_event(inner: &mut Inner, engine: &mut Engine<Inner>) {
         None => inner.dropped += 1,
     }
     // Schedule the next arrival.
-    let delay = next_interarrival(&mut inner.rng, inner.qps);
+    let delay = next_interarrival(&mut inner.samplers, inner.qps, inner.inv_qps);
     engine.schedule_in(delay, arrival_event);
 }
 
@@ -458,8 +575,14 @@ fn dispatch_one(inner: &mut Inner, engine: &mut Engine<Inner>, vm_id: VmId, req:
             (inner.inflight.len() - 1) as u32
         }
     };
+    // v2 converts the service delay with the truncating fast path; v1
+    // keeps the historical rounding conversion (see `dur_v2`).
+    let delay = match inner.samplers.version() {
+        StreamVersion::V1 => SimDuration::from_secs_f64(service_s),
+        StreamVersion::V2 => dur_v2(service_s),
+    };
     engine.schedule_in(
-        SimDuration::from_secs_f64(service_s),
+        delay,
         move |inner: &mut Inner, engine: &mut Engine<Inner>| complete(inner, engine, slot),
     );
 }
