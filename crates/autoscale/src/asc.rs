@@ -26,7 +26,6 @@ use ic_sim::time::{SimDuration, SimTime};
 use ic_telemetry::counters::CounterSample;
 use ic_telemetry::eq1::{min_frequency_for_threshold, predict_utilization};
 use ic_workloads::mgk::ClientServerSim;
-use std::any::Any;
 use std::collections::HashMap;
 
 /// What the controller did in one decision step (for tracing and
@@ -510,13 +509,7 @@ impl Controller for AutoScaler {
         }
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
+    ic_controlplane::impl_controller_downcast!();
 }
 
 #[cfg(test)]

@@ -29,6 +29,9 @@
 //! 10 000 power domains (`fleet10k_ctrl_ticks_per_sec`, plus the
 //! per-VM telemetry-snapshot refill cost `fleet_snapshot_ns_per_vm` —
 //! the key that would regress if the snapshot path went O(fleet)),
+//! the chaos experiment's fault-injection event throughput
+//! (`chaos_events_per_sec` — B2 and OC3 fleets end-to-end, gating the
+//! hazard/burst bookkeeping on the event loop),
 //! the governor's steady-state cache hit rate, and the worker count
 //! the pool resolved (`IC_PAR_WORKERS` or the machine's parallelism —
 //! wall-clock numbers only speed up with real cores).
@@ -41,7 +44,7 @@
 use ic_autoscale::asc::AutoScaler;
 use ic_autoscale::policy::{AscConfig, Policy};
 use ic_autoscale::runner::{run_batch, RunnerConfig};
-use ic_bench::experiments::fleet_scale;
+use ic_bench::experiments::{chaos, fleet_scale};
 use ic_bench::registry::{run_one, Mode};
 use ic_cluster::cluster::Cluster;
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
@@ -342,6 +345,24 @@ fn fleet10k_ctrl_ticks_per_sec(quick: bool) -> f64 {
     ticks as f64 / secs
 }
 
+/// Times the chaos experiment (wear-coupled fault injection, B2 vs OC3
+/// fleets with degradation controllers) end-to-end and returns engine
+/// events per wall second across both fleets. This is the gate on the
+/// fault-injection path: hazard inversion, burst accrual, and the
+/// degradation/failover controllers all ride the event loop, so this
+/// key regressing means fault bookkeeping went superlinear.
+fn chaos_events_per_sec(quick: bool) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (events, metrics) = chaos::chaos_record(StreamVersion::V1, quick);
+        let secs = start.elapsed().as_secs_f64();
+        black_box(metrics);
+        best = best.max(events as f64 / secs);
+    }
+    best
+}
+
 /// Exercises the governor's decision loop over a grid of power grants
 /// and reports the steady-state memo table's hit rate — the fraction of
 /// power/temperature fixed points served without re-solving.
@@ -429,6 +450,7 @@ fn trajectory_once(quick: bool) -> Vec<(&'static str, f64)> {
             "fleet10k_ctrl_ticks_per_sec",
             fleet10k_ctrl_ticks_per_sec(quick),
         ),
+        ("chaos_events_per_sec", chaos_events_per_sec(quick)),
         ("steady_cache_hit_rate", governor_cache_hit_rate()),
         ("par_workers", ic_par::pool().workers() as f64),
     ]
@@ -437,7 +459,7 @@ fn trajectory_once(quick: bool) -> Vec<(&'static str, f64)> {
 /// Encodes the trajectory metrics as one deterministic-layout JSON
 /// object (only the measurements themselves vary run to run).
 fn trajectory_json(quick: bool, metrics: &[(&'static str, f64)]) -> String {
-    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v5\",\"mode\":");
+    let mut out = String::from("{\"schema\":\"ic-bench/kernels/v6\",\"mode\":");
     write_escaped(if quick { "quick" } else { "full" }, &mut out);
     for (key, value) in metrics {
         out.push(',');
@@ -512,6 +534,10 @@ fn main() {
     println!(
         "fleet10k_ctrl_ticks          {:>10.3} ticks/s",
         fleet10k_ctrl_ticks_per_sec(true)
+    );
+    println!(
+        "chaos_events                 {:>10.3} Mev/s  (B2 + OC3 fleets)",
+        chaos_events_per_sec(true) / 1e6
     );
     println!(
         "steady_cache_hit_rate        {:>10.3}",

@@ -1,0 +1,14 @@
+//! Standalone runner for the chaos experiment: wear-coupled fault
+//! injection and graceful degradation, B2 vs OC3 at equal demand.
+//!
+//! ```sh
+//! cargo run --release -p ic-bench --bin chaos [-- --quick]
+//! ```
+
+use ic_bench::experiments::chaos;
+use ic_sim::rng::StreamVersion;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    print!("{}", chaos::chaos(StreamVersion::V1, quick));
+}

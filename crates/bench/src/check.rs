@@ -67,7 +67,7 @@ enum Rule {
     Info,
 }
 
-/// Every key of the `ic-bench/kernels/v5` snapshot with its rule.
+/// Every key of the `ic-bench/kernels/v6` snapshot with its rule.
 const RULES: &[(&str, Rule)] = &[
     ("schema", Rule::ExactStr),
     ("mode", Rule::Info),
@@ -92,6 +92,7 @@ const RULES: &[(&str, Rule)] = &[
     ("composed_ctrl_ticks_per_sec_v2", Rule::RateFloor),
     ("fleet_snapshot_ns_per_vm", Rule::TimeCeiling),
     ("fleet10k_ctrl_ticks_per_sec", Rule::RateFloor),
+    ("chaos_events_per_sec", Rule::RateFloor),
     ("steady_cache_hit_rate", Rule::HitRateFloor),
     ("par_workers", Rule::Info),
 ];
@@ -255,7 +256,7 @@ pub fn check(baseline: &str, current: &str) -> Result<CheckReport, String> {
 mod tests {
     use super::*;
 
-    const BASELINE: &str = r#"{"schema":"ic-bench/kernels/v5","mode":"quick","engine_events_per_sec":22918209.2,"engine_ms_per_100k_events":4.363,"engine_steady_events_per_sec":26229326.6,"engine_steady_allocs_per_event":0,"normal_ns_per_sample_v1":30.5,"normal_ns_per_sample_v2":5.6,"mgk_events_per_sec":8930852.6,"mgk_events_per_sec_v2":14500000.0,"mgk_boxed_events":0,"table11_wall_ms":1617.3,"sweep_runs_per_sec":6.6,"composed_ctrl_ticks_per_sec":120.0,"composed_ctrl_ticks_per_sec_v2":240.0,"fleet_snapshot_ns_per_vm":45.0,"fleet10k_ctrl_ticks_per_sec":300.0,"steady_cache_hit_rate":0.996,"par_workers":1}"#;
+    const BASELINE: &str = r#"{"schema":"ic-bench/kernels/v6","mode":"quick","engine_events_per_sec":22918209.2,"engine_ms_per_100k_events":4.363,"engine_steady_events_per_sec":26229326.6,"engine_steady_allocs_per_event":0,"normal_ns_per_sample_v1":30.5,"normal_ns_per_sample_v2":5.6,"mgk_events_per_sec":8930852.6,"mgk_events_per_sec_v2":14500000.0,"mgk_boxed_events":0,"table11_wall_ms":1617.3,"sweep_runs_per_sec":6.6,"composed_ctrl_ticks_per_sec":120.0,"composed_ctrl_ticks_per_sec_v2":240.0,"fleet_snapshot_ns_per_vm":45.0,"fleet10k_ctrl_ticks_per_sec":300.0,"chaos_events_per_sec":1200000.0,"steady_cache_hit_rate":0.996,"par_workers":1}"#;
 
     #[test]
     fn identical_snapshot_passes_every_key() {
@@ -314,7 +315,7 @@ mod tests {
 
     #[test]
     fn schema_mismatch_and_missing_key_fail() {
-        let wrong_schema = BASELINE.replace("kernels/v5", "kernels/v4");
+        let wrong_schema = BASELINE.replace("kernels/v6", "kernels/v5");
         assert!(!check(BASELINE, &wrong_schema).unwrap().passed());
         let missing = BASELINE.replace("\"table11_wall_ms\":1617.3,", "");
         let report = check(BASELINE, &missing).unwrap();

@@ -17,10 +17,17 @@
 use crate::report::Metric;
 use ic_autoscale::asc::AutoScaler;
 use ic_autoscale::policy::{AscConfig, Policy};
+use ic_chaos::{
+    ChaosController, DegradationController, DegradationPolicy, FaultProcess, LatencySlo, SloInputs,
+    SloScorecard, StalledController,
+};
 use ic_controlplane::controllers::{
     FailoverController, GovernorController, PowerCapController, ScriptController,
 };
-use ic_controlplane::{Action, ControlPlane, FleetConfig, FleetWorld, World};
+use ic_controlplane::{
+    Action, ControlPlane, Controller, ControllerId, FaultPlan, FleetConfigBuilder, FleetWorld,
+    World,
+};
 use ic_core::governor::{GovernorConfig, OverclockGovernor};
 use ic_obs::flight::FlightHandle;
 use ic_obs::ObsSinks;
@@ -29,6 +36,7 @@ use ic_power::cpu::CpuSku;
 use ic_power::units::Frequency;
 use ic_reliability::lifetime::CompositeLifetimeModel;
 use ic_reliability::stability::StabilityModel;
+use ic_scenario::FaultConfig;
 use ic_sim::rng::StreamVersion;
 use ic_sim::time::{SimDuration, SimTime};
 use ic_thermal::fluid::DielectricFluid;
@@ -54,25 +62,96 @@ fn governor() -> OverclockGovernor {
     )
 }
 
+/// Per-fleet chaos overrides for [`composed_run_with`]: swaps the
+/// scripted single failure for the wear-coupled fault process plus the
+/// degradation controller, and schedules the scenario's exogenous
+/// control-plane faults (frozen telemetry, sensor dropouts, stalls).
+pub(crate) struct ChaosSetup {
+    pub(crate) faults: FaultConfig,
+    pub(crate) requested_ghz: f64,
+    /// The service-life target the governor trades frequency against —
+    /// the paper's overclocked configs buy their headroom by shortening
+    /// this (Section IV).
+    pub(crate) target_lifetime_years: f64,
+    pub(crate) budget_w: f64,
+    /// Per-domain power ask — overclocking needs the headroom actually
+    /// requested, or the allocator's grant power-binds the governor.
+    pub(crate) domain_demand_w: f64,
+    pub(crate) voltage_offset_v: f64,
+    /// The *true* stability envelope driving the fault process's
+    /// correctable-error rate.
+    pub(crate) stability: StabilityModel,
+    /// The envelope the governor *believes* — the overclocked fleet's
+    /// operator validates a laxer characterization, and the gap between
+    /// claimed and true envelope is what the chaos run measures.
+    pub(crate) governor_stability: StabilityModel,
+    pub(crate) policy: DegradationPolicy,
+    pub(crate) slo: LatencySlo,
+    /// The auto-scaler strategy: the baseline fleet scales out at fixed
+    /// frequency, the overclocked fleet runs OC-A with its selectable
+    /// bins capped at the governor's grant — otherwise the ASC, not the
+    /// governor, decides how hot the fleet runs.
+    pub(crate) asc_policy: Policy,
+}
+
+/// What a chaos-enabled run reports on top of [`ComposedRun`].
+pub(crate) struct ChaosOutcome {
+    pub(crate) scorecard: SloScorecard,
+    pub(crate) stalled_ticks: u64,
+    pub(crate) deocs: u32,
+    pub(crate) drains: u32,
+    pub(crate) injected_failures: u64,
+    pub(crate) injected_bursts: u64,
+}
+
 /// Everything the render and the record report about one composed run.
-struct ComposedRun {
-    end_s: f64,
-    fail_at_s: f64,
-    repair_at_s: f64,
-    p95_latency_s: f64,
-    avg_latency_s: f64,
-    completed: u64,
-    sim_events: u64,
-    cp_ticks: u64,
-    vms_end: usize,
-    parked_end: usize,
-    failed_end: usize,
+pub(crate) struct ComposedRun {
+    pub(crate) end_s: f64,
+    pub(crate) fail_at_s: f64,
+    pub(crate) repair_at_s: f64,
+    pub(crate) p95_latency_s: f64,
+    pub(crate) avg_latency_s: f64,
+    pub(crate) completed: u64,
+    pub(crate) sim_events: u64,
+    pub(crate) cp_ticks: u64,
+    pub(crate) vms_end: usize,
+    pub(crate) parked_end: usize,
+    pub(crate) failed_end: usize,
     /// `(domain, granted watts)` at the horizon, domain order.
-    grants: Vec<(u64, f64)>,
-    budget_w: f64,
-    governor_ghz: f64,
-    governor_binding: String,
-    boost_engaged: bool,
+    pub(crate) grants: Vec<(u64, f64)>,
+    pub(crate) budget_w: f64,
+    pub(crate) governor_ghz: f64,
+    pub(crate) governor_binding: String,
+    pub(crate) boost_engaged: bool,
+    pub(crate) chaos: Option<ChaosOutcome>,
+}
+
+/// Wraps `ctl` in a [`StalledController`] when the chaos scenario
+/// names it; the default path hands the box back untouched.
+fn wrap_stalled(ctl: Box<dyn Controller>, chaos: Option<&ChaosSetup>) -> Box<dyn Controller> {
+    let Some(setup) = chaos else { return ctl };
+    let windows: Vec<ic_scenario::FaultWindow> = setup
+        .faults
+        .stalled_controllers
+        .iter()
+        .filter(|s| s.controller == ctl.name())
+        .map(|s| s.window)
+        .collect();
+    if windows.is_empty() {
+        ctl
+    } else {
+        Box::new(StalledController::from_windows(ctl, &windows))
+    }
+}
+
+/// Looks up a registered controller that the stall fault may have
+/// wrapped: try the direct downcast first, then through the wrapper.
+fn controller_as<T: 'static>(plane: &ControlPlane<FleetWorld>, id: ControllerId) -> Option<&T> {
+    plane.controller::<T>(id).or_else(|| {
+        plane
+            .controller::<StalledController>(id)
+            .and_then(|s| s.inner_as::<T>())
+    })
 }
 
 /// Runs the composed experiment. `quick` halves the schedule dwell;
@@ -80,7 +159,21 @@ struct ComposedRun {
 /// sinks, were any attached) into the recorder without touching the
 /// numbers.
 fn composed_run(version: StreamVersion, quick: bool, flight: Option<&FlightHandle>) -> ComposedRun {
-    let mut config = FleetConfig::small(SEED);
+    composed_run_with(version, quick, flight, None)
+}
+
+/// [`composed_run`] with an optional chaos setup. `chaos: None` is the
+/// stock composed pipeline, bit for bit; `chaos: Some` replaces the
+/// scripted failure with the wear-coupled [`ChaosController`] +
+/// [`DegradationController`] pair in the same registration slot and
+/// schedules the scenario's exogenous control-plane faults.
+pub(crate) fn composed_run_with(
+    version: StreamVersion,
+    quick: bool,
+    flight: Option<&FlightHandle>,
+    chaos: Option<&ChaosSetup>,
+) -> ComposedRun {
+    let mut config = FleetConfigBuilder::small(SEED).build();
     config.rng_stream = version;
     if quick {
         config.schedule = config
@@ -96,11 +189,55 @@ fn composed_run(version: StreamVersion, quick: bool, flight: Option<&FlightHandl
     // leaving a full window of degraded operation.
     let fail_at_s = 1.5 * dwell_s;
     let repair_at_s = 2.5 * dwell_s;
+    if let Some(setup) = chaos {
+        config.budget_w = setup.budget_w;
+        for domain in &mut config.domains {
+            domain.demand_w = setup.domain_demand_w;
+        }
+        config.faults = Some(setup.faults.clone());
+    }
     let budget_w = config.budget_w;
+    let servers = config.servers;
 
-    let asc_cfg = AscConfig::paper();
+    let requested_ghz = chaos.map_or(4.1, |c| c.requested_ghz);
+    let gov = match chaos {
+        None => governor(),
+        Some(setup) => OverclockGovernor::new(
+            CpuSku::skylake_8180(),
+            ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+            CompositeLifetimeModel::fitted_5nm(),
+            setup.governor_stability,
+            GovernorConfig {
+                target_lifetime_years: setup.target_lifetime_years,
+                ..GovernorConfig::default()
+            },
+        ),
+    };
+    // The ratio the failover restores to when the fleet heals: base for
+    // the stock run, the governor's unconstrained-power grant under
+    // chaos — the governor only re-issues on change, so a restore to
+    // base would silently de-overclock the fleet for the rest of the
+    // run after the first repair.
+    let restore_ratio = match chaos {
+        None => 1.0,
+        Some(setup) => gov
+            .decide(Frequency::from_ghz(setup.requested_ghz), setup.budget_w)
+            .frequency
+            .ratio_to(Frequency::from_ghz(3.4)),
+    };
+
+    let mut asc_cfg = AscConfig::paper();
+    if chaos.is_some() {
+        // The operator configures the ASC with the same envelope the
+        // governor validated: selectable bins stop at the grant.
+        asc_cfg.freq_ratios.retain(|&r| r <= restore_ratio + 1e-9);
+        if asc_cfg.freq_ratios.is_empty() {
+            asc_cfg.freq_ratios.push(1.0);
+        }
+    }
+    let asc_policy = chaos.map_or(Policy::OcA, |c| c.asc_policy);
     let asc_period = SimDuration::from_secs_f64(asc_cfg.decision_period_s);
-    let mut asc = AutoScaler::new(asc_cfg, Policy::OcA);
+    let mut asc = AutoScaler::new(asc_cfg, asc_policy);
     if let Some(flight) = flight {
         asc.attach_sinks(ObsSinks::none().with_flight(flight.clone()));
     }
@@ -114,47 +251,127 @@ fn composed_run(version: StreamVersion, quick: bool, flight: Option<&FlightHandl
     // Capping must precede the governor at shared instants so grants
     // land before the governor reads them.
     let cap_id = plane.register(
-        Box::new(PowerCapController::new(PowerAllocator::new(budget_w))),
+        wrap_stalled(
+            Box::new(PowerCapController::new(PowerAllocator::new(budget_w))),
+            chaos,
+        ),
         SimDuration::from_secs(CAP_PERIOD_S),
     );
     let gov_id = plane.register(
-        Box::new(GovernorController::new(
-            governor(),
-            Frequency::from_ghz(4.1),
-            Frequency::from_ghz(3.4),
-        )),
+        wrap_stalled(
+            Box::new(GovernorController::new(
+                gov,
+                Frequency::from_ghz(requested_ghz),
+                Frequency::from_ghz(3.4),
+            )),
+            chaos,
+        ),
         SimDuration::from_secs(CAP_PERIOD_S),
     );
-    let _script_id = plane.register(
-        Box::new(ScriptController::new(vec![
-            (
-                SimTime::from_secs_f64(fail_at_s),
-                Action::FailServer { server: 0 },
-            ),
-            (
-                SimTime::from_secs_f64(repair_at_s),
-                Action::RepairServer { server: 0 },
-            ),
-        ])),
-        SimDuration::from_secs(WATCH_PERIOD_S),
-    );
+    let mut chaos_ids: Option<(ControllerId, ControllerId)> = None;
+    match chaos {
+        None => {
+            let _script_id = plane.register(
+                Box::new(
+                    ScriptController::new(vec![
+                        (
+                            SimTime::from_secs_f64(fail_at_s),
+                            Action::FailServer { server: 0 },
+                        ),
+                        (
+                            SimTime::from_secs_f64(repair_at_s),
+                            Action::RepairServer { server: 0 },
+                        ),
+                    ])
+                    .expect("script events are time-sorted"),
+                ),
+                SimDuration::from_secs(WATCH_PERIOD_S),
+            );
+        }
+        Some(setup) => {
+            let process = FaultProcess::new(
+                setup.faults.clone(),
+                servers,
+                CompositeLifetimeModel::fitted_5nm(),
+                setup.stability,
+            );
+            let chaos_id = plane.register(
+                Box::new(ChaosController::new(
+                    process,
+                    CpuSku::skylake_8180(),
+                    ThermalInterface::two_phase(DielectricFluid::hfe7000(), 0.084, 0.0),
+                    Frequency::from_ghz(3.4),
+                    setup.voltage_offset_v,
+                )),
+                SimDuration::from_secs(WATCH_PERIOD_S),
+            );
+            let deg_id = plane.register(
+                Box::new(DegradationController::new(setup.policy)),
+                SimDuration::from_secs(WATCH_PERIOD_S),
+            );
+            chaos_ids = Some((chaos_id, deg_id));
+        }
+    }
+    // The stock run boosts survivors by the paper's full +20 % virtual
+    // buffer; the chaos fleets run the conservative +10 % setting — the
+    // wear process is live, and the full buffer sits deep in the true
+    // envelope's error-growth region.
+    let boost_ratio = if chaos.is_some() { 1.1 } else { 1.2 };
     let fo_id = plane.register(
-        Box::new(FailoverController::new(1.2)),
+        wrap_stalled(
+            Box::new(FailoverController::with_restore(boost_ratio, restore_ratio)),
+            chaos,
+        ),
         SimDuration::from_secs(WATCH_PERIOD_S),
     );
+    if let Some(setup) = chaos {
+        let mut entries: Vec<(SimTime, Action)> = Vec::new();
+        for w in &setup.faults.stale_telemetry {
+            entries.push((
+                SimTime::from_secs_f64(w.from_s),
+                Action::FreezeTelemetry {
+                    until: SimTime::from_secs_f64(w.until_s),
+                },
+            ));
+        }
+        for d in &setup.faults.sensor_dropouts {
+            entries.push((
+                SimTime::from_secs_f64(d.window.from_s),
+                Action::DropVmSensor {
+                    vm: d.vm,
+                    until: SimTime::from_secs_f64(d.window.until_s),
+                },
+            ));
+        }
+        if !entries.is_empty() {
+            plane.schedule_faults(FaultPlan::new(entries));
+        }
+    }
 
     plane.run_until(SimTime::from_secs_f64(end_s));
 
     let cp_ticks = plane.ticks_total();
-    let decision = plane
-        .controller::<GovernorController>(gov_id)
+    let decision = controller_as::<GovernorController>(&plane, gov_id)
         .and_then(|g| g.last_decision().cloned())
         .expect("governor ticked at least once");
-    let boost_engaged = plane
-        .controller::<FailoverController>(fo_id)
+    let boost_engaged = controller_as::<FailoverController>(&plane, fo_id)
         .map(|f| f.boosted())
         .unwrap_or(false);
-    debug_assert!(plane.controller::<PowerCapController>(cap_id).is_some());
+    debug_assert!(controller_as::<PowerCapController>(&plane, cap_id).is_some());
+    let chaos_counts = chaos_ids.map(|(chaos_id, deg_id)| {
+        let (failures, bursts) = controller_as::<ChaosController>(&plane, chaos_id)
+            .map(|c| (c.failures_injected(), c.bursts_injected()))
+            .unwrap_or((0, 0));
+        let (deocs, drains) = controller_as::<DegradationController>(&plane, deg_id)
+            .map(|d| (d.deocs(), d.drains()))
+            .unwrap_or((0, 0));
+        let stalled_ticks: u64 = [cap_id, gov_id, fo_id]
+            .into_iter()
+            .filter_map(|id| plane.controller::<StalledController>(id))
+            .map(|s| s.stalled_ticks())
+            .sum();
+        (failures, bursts, deocs, drains, stalled_ticks)
+    });
 
     let end = SimTime::from_secs_f64(end_s);
     let mut world = plane.into_world();
@@ -162,22 +379,46 @@ fn composed_run(version: StreamVersion, quick: bool, flight: Option<&FlightHandl
     // completion order and the P95 is one nearest-rank quickselect —
     // the exact values a `Tally` of the same stream reports, without
     // pushing ~half a million samples through its record path.
-    let mut latencies: Vec<f64> = world
-        .sim_mut()
-        .take_completions()
-        .into_iter()
-        .map(|(_, lat)| lat)
-        .collect();
+    let completions = world.sim_mut().take_completions();
+    let mut latencies: Vec<f64> = completions.iter().map(|&(_, lat)| lat).collect();
     assert!(!latencies.is_empty(), "composed run completed no requests");
     let n = latencies.len();
     let avg_latency_s = latencies.iter().sum::<f64>() / n as f64;
     let rank = (((0.95 * n as f64).ceil() as usize).max(1) - 1).min(n - 1);
     let (_, &mut p95_latency_s, _) = latencies.select_nth_unstable_by(rank, f64::total_cmp);
-    let snap_cluster = world
-        .telemetry(end)
-        .cluster
-        .clone()
-        .expect("fleet models placement");
+    let snap = world.telemetry(end);
+    let snap_cluster = snap.cluster.clone().expect("fleet models placement");
+    let snap_faults = snap.faults.clone();
+
+    let chaos_outcome = chaos.map(|setup| {
+        let (injected_failures, injected_bursts, deocs, drains, stalled_ticks) =
+            chaos_counts.unwrap_or((0, 0, 0, 0, 0));
+        let (error_bursts, errors_total) = snap_faults
+            .as_ref()
+            .map(|f| (f.error_bursts, f.errors_by_server.iter().sum::<u64>()))
+            .unwrap_or((0, 0));
+        let completions_s: Vec<(f64, f64)> = completions
+            .iter()
+            .map(|&(t, lat)| (t.as_secs_f64(), lat))
+            .collect();
+        let inputs = SloInputs {
+            completions: &completions_s,
+            horizon_s: end_s,
+            availability: world.availability(end),
+            failures: world.failures_applied(),
+            recovered_vms: world.recovered_vms(),
+            error_bursts,
+            errors_total,
+        };
+        ChaosOutcome {
+            scorecard: SloScorecard::compute(&inputs, &setup.slo),
+            stalled_ticks,
+            deocs,
+            drains,
+            injected_failures,
+            injected_bursts,
+        }
+    });
 
     ComposedRun {
         end_s,
@@ -196,6 +437,7 @@ fn composed_run(version: StreamVersion, quick: bool, flight: Option<&FlightHandl
         governor_ghz: decision.frequency.ghz(),
         governor_binding: format!("{:?}", decision.binding),
         boost_engaged,
+        chaos: chaos_outcome,
     }
 }
 
@@ -270,7 +512,14 @@ fn composed_record_with(
     quick: bool,
     flight: Option<&FlightHandle>,
 ) -> (u64, Vec<Metric>) {
-    let r = composed_run(version, quick, flight);
+    record_from_run(&composed_run(version, quick, flight))
+}
+
+/// Assembles the composed record from a finished run. Shared with the
+/// chaos experiment's zero-fault differential test, which pins that
+/// [`composed_run_with`] without a chaos setup reproduces this record
+/// byte-for-byte.
+pub(crate) fn record_from_run(r: &ComposedRun) -> (u64, Vec<Metric>) {
     let mut metrics = vec![
         Metric::new("p95_latency_s", "seconds", r.p95_latency_s),
         Metric::new("requests_completed", "count", r.completed as f64),

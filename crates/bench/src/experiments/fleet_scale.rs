@@ -24,7 +24,8 @@ use ic_controlplane::controllers::{
     FailoverController, GovernorController, PowerCapController, ScriptController,
 };
 use ic_controlplane::{
-    Action, ControlPlane, DomainSpec, FleetConfig, FleetWorld, PowerModelSpec, World,
+    Action, ControlPlane, DomainSpec, FleetConfig, FleetConfigBuilder, FleetWorld, PowerModelSpec,
+    World,
 };
 use ic_core::governor::{GovernorConfig, OverclockGovernor};
 use ic_obs::flight::FlightHandle;
@@ -71,7 +72,7 @@ fn governor() -> OverclockGovernor {
 /// resistance). Per-domain floors, demands, and budget share are
 /// size-independent by construction.
 pub fn fleet_config(servers: usize, quick: bool) -> FleetConfig {
-    let mut config = FleetConfig::small(SEED);
+    let mut config = FleetConfigBuilder::small(SEED).build();
     if quick {
         config.schedule = config
             .schedule
@@ -151,16 +152,19 @@ fn run_size(servers: usize, quick: bool, flight: Option<&FlightHandle>) -> SizeR
         SimDuration::from_secs(CAP_PERIOD_S),
     );
     plane.register(
-        Box::new(ScriptController::new(vec![
-            (
-                SimTime::from_secs_f64(fail_at_s),
-                Action::FailServer { server: 0 },
-            ),
-            (
-                SimTime::from_secs_f64(repair_at_s),
-                Action::RepairServer { server: 0 },
-            ),
-        ])),
+        Box::new(
+            ScriptController::new(vec![
+                (
+                    SimTime::from_secs_f64(fail_at_s),
+                    Action::FailServer { server: 0 },
+                ),
+                (
+                    SimTime::from_secs_f64(repair_at_s),
+                    Action::RepairServer { server: 0 },
+                ),
+            ])
+            .expect("script events are time-sorted"),
+        ),
         SimDuration::from_secs(WATCH_PERIOD_S),
     );
     plane.register(

@@ -1,6 +1,7 @@
 //! All experiment implementations, one module per table/figure.
 
 pub mod ablations;
+pub mod chaos;
 pub mod composed;
 pub mod figures;
 pub mod fleet_scale;
@@ -52,7 +53,7 @@ mod tests {
     fn json_report_covers_every_experiment() {
         let out = run_all_json(true);
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines.len(), 26, "one record per experiment");
+        assert_eq!(lines.len(), 27, "one record per experiment");
         for line in &lines {
             assert!(line.starts_with("{\"id\":\""), "{line}");
             assert!(line.ends_with("]}"), "{line}");
@@ -67,6 +68,7 @@ mod tests {
             "fig16",
             "composed",
             "composed_v2",
+            "chaos",
         ] {
             assert!(
                 lines

@@ -9,7 +9,7 @@
 //! reassembles results in registration order so parallel runs are
 //! byte-identical to serial ones (modulo `wall_ms`).
 
-use crate::experiments::{composed, figures, fleet_scale, tables};
+use crate::experiments::{chaos, composed, figures, fleet_scale, tables};
 use crate::report::{ExperimentRecord, Metric};
 use ic_obs::flight::FlightHandle;
 use ic_obs::trace::TraceLevel;
@@ -185,7 +185,7 @@ impl Experiment for FnExperiment {
 /// All experiments in paper order, plus the composed control-plane
 /// run (not a paper artifact — the reproduction's own end-to-end
 /// demonstration, so it sits last).
-static REGISTRY: [FnExperiment; 26] = [
+static REGISTRY: [FnExperiment; 27] = [
     FnExperiment {
         id: "table1",
         title: "Table I: cooling technologies",
@@ -372,6 +372,13 @@ static REGISTRY: [FnExperiment; 26] = [
             composed::composed_record_traced(StreamVersion::V2, m.is_quick(), f)
         }),
     },
+    FnExperiment {
+        id: "chaos",
+        title: "Chaos: wear-coupled faults and graceful degradation, B2 vs OC3",
+        render: |s, m| chaos::chaos(s.rng_stream, m.is_quick()),
+        metrics: Some(|s, m| chaos::chaos_record(s.rng_stream, m.is_quick())),
+        traced: Some(|s, m, f| chaos::chaos_record_traced(s.rng_stream, m.is_quick(), f)),
+    },
 ];
 
 /// The full registry in paper order.
@@ -512,7 +519,7 @@ mod tests {
     #[test]
     fn registry_ids_are_unique_and_in_paper_order() {
         let ids: Vec<&str> = REGISTRY.iter().map(|e| e.id).collect();
-        assert_eq!(ids.len(), 26);
+        assert_eq!(ids.len(), 27);
         let mut dedup = ids.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -520,7 +527,8 @@ mod tests {
         assert_eq!(ids.first(), Some(&"table1"));
         // Every pre-versioning id keeps its position; v2 variants append.
         assert_eq!(ids[24], "fleet_scale");
-        assert_eq!(ids.last(), Some(&"composed_v2"));
+        assert_eq!(ids[25], "composed_v2");
+        assert_eq!(ids.last(), Some(&"chaos"));
     }
 
     #[test]

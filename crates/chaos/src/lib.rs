@@ -1,0 +1,44 @@
+//! `ic-chaos`: wear-coupled fault injection and graceful degradation.
+//!
+//! The paper's overclocking pitch stands on a reliability argument
+//! (Section IV): push V/f and the composite lifetime model says parts
+//! die sooner; push past the stability envelope and correctable errors
+//! climb. This crate closes the loop in simulation — faults are not a
+//! scripted nuisance but a *consequence of the operating point the
+//! control plane itself chose*:
+//!
+//! * [`FaultProcess`] — per-server time-to-failure and correctable-
+//!   error sampling driven by the fleet's actual V/f/Tj history,
+//!   via exact hazard-integration inversion
+//!   ([`ic_reliability::hazard`]). Pure in `(seed, server)`: worker
+//!   count, advance interleaving, and sibling servers cannot perturb a
+//!   server's events. Two fleets sharing a seed share their `Exp(1)`
+//!   thresholds, so the harder-driven fleet (OC3) fails no later,
+//!   server by server, than the gentler one (B2) — common random
+//!   numbers as a *monotone coupling*, not merely variance reduction.
+//! * [`ChaosController`] — the actuation side: derives the physical
+//!   operating point from live telemetry each tick, advances the
+//!   process, and emits `FailServer` / `InjectErrorBurst` /
+//!   `RepairServer` actions into the `ic-controlplane` runtime.
+//! * [`DegradationController`] — the response side: de-overclock on a
+//!   fleet-wide correctable-error spike, proactively drain a bursting
+//!   server, hand the recovery to the failover controller.
+//! * [`StalledController`] — wraps any controller with stall windows
+//!   (the "wedged control loop" fault).
+//! * [`SloScorecard`] — availability, P95/P99 breach minutes, and
+//!   failed-then-recovered VM counts for the run record.
+//!
+//! Exogenous control-plane faults (frozen telemetry, dropped VM
+//! sensors) are scheduled directly as DES events via
+//! [`ic_controlplane::FaultPlan`]; this crate only provides the models
+//! and controllers that need state.
+
+pub mod controllers;
+pub mod process;
+pub mod slo;
+
+pub use controllers::{
+    ChaosController, DegradationController, DegradationPolicy, StalledController,
+};
+pub use process::{FaultEvent, FaultProcess};
+pub use slo::{LatencySlo, SloInputs, SloScorecard};

@@ -7,7 +7,7 @@
 //! auditable — the tick report records exactly which actions fired —
 //! and keeps controllers trivially serializable and replayable.
 
-use ic_sim::time::SimDuration;
+use ic_sim::time::{SimDuration, SimTime};
 
 /// What a frequency change applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +75,29 @@ pub enum Action {
         /// Server index in the cluster.
         server: usize,
     },
+    /// Record a burst of correctable errors against a server (fault
+    /// injection). The world only bumps its fault-telemetry counters;
+    /// responding (de-overclocking, draining) is a controller's job.
+    InjectErrorBurst {
+        /// Server index in the cluster.
+        server: usize,
+        /// Correctable errors in the burst.
+        count: u64,
+    },
+    /// Serve every controller a stale (frozen) telemetry snapshot until
+    /// the given instant (control-plane fault injection).
+    FreezeTelemetry {
+        /// When telemetry thaws.
+        until: SimTime,
+    },
+    /// Hide one VM's telemetry row until the given instant (sensor
+    /// dropout fault injection).
+    DropVmSensor {
+        /// The VM whose sensor goes dark.
+        vm: u64,
+        /// When the sensor comes back.
+        until: SimTime,
+    },
 }
 
 impl Action {
@@ -90,6 +113,9 @@ impl Action {
             Action::Migrate { .. } => "migrate",
             Action::FailServer { .. } => "fail_server",
             Action::RepairServer { .. } => "repair_server",
+            Action::InjectErrorBurst { .. } => "inject_error_burst",
+            Action::FreezeTelemetry { .. } => "freeze_telemetry",
+            Action::DropVmSensor { .. } => "drop_vm_sensor",
         }
     }
 }

@@ -12,6 +12,27 @@ use crate::action::{Action, Outcome};
 use crate::telemetry::TelemetrySnapshot;
 use ic_sim::time::SimTime;
 use std::any::Any;
+use std::fmt;
+
+/// Stamps the [`Controller::as_any`] / [`Controller::as_any_mut`]
+/// downcast plumbing into a `Controller` impl block.
+///
+/// Every concrete controller needs the same two-line identity pair so
+/// compositions can reach it through `dyn Controller`; write
+/// `ic_controlplane::impl_controller_downcast!();` inside the impl
+/// instead of repeating them.
+#[macro_export]
+macro_rules! impl_controller_downcast {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
 
 /// A control loop: observe shared telemetry, decide typed actions.
 ///
@@ -38,9 +59,11 @@ pub trait Controller {
 
     /// Downcast support so compositions can reach a concrete
     /// controller (e.g. the runner reading `AutoScaler` window state).
+    /// Implement with [`impl_controller_downcast!`].
     fn as_any(&self) -> &dyn Any;
 
-    /// Mutable downcast support.
+    /// Mutable downcast support. Implement with
+    /// [`impl_controller_downcast!`].
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
@@ -57,6 +80,20 @@ pub struct TickReport {
     pub window_start: SimTime,
     /// Actions the controller decided this tick (before follow-ups).
     pub decided: usize,
+}
+
+impl fmt::Display for TickReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={:.1}s {}: {} action(s) over [{:.1}s, {:.1}s)",
+            self.at.as_secs_f64(),
+            self.controller,
+            self.decided,
+            self.window_start.as_secs_f64(),
+            self.at.as_secs_f64(),
+        )
+    }
 }
 
 /// The simulated world a [`crate::ControlPlane`] drives: one clock,

@@ -17,7 +17,7 @@ use ic_core::governor::{GovernorDecision, OverclockGovernor};
 use ic_power::capping::{AllocScratch, PowerAllocator, PowerGrant, PowerRequest};
 use ic_power::units::Frequency;
 use ic_sim::time::SimTime;
-use std::any::Any;
+use std::fmt;
 
 /// Ratios closer than this are "the same frequency" — matches the
 /// epsilon the auto-scaler has always used for change suppression.
@@ -117,13 +117,7 @@ impl Controller for GovernorController {
         }
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
+    crate::impl_controller_downcast!();
 }
 
 /// Priority-aware power capping as a controller: each tick it re-runs
@@ -204,19 +198,34 @@ impl Controller for PowerCapController {
         actions
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
+    crate::impl_controller_downcast!();
+}
 
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
+/// A [`ScriptController`] construction error: the script's entries were
+/// not in non-decreasing time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptError {
+    /// Index of the first entry whose time precedes its predecessor's.
+    pub index: usize,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "script entry {} is earlier than its predecessor: entries must be sorted by time",
+            self.index
+        )
     }
 }
+
+impl std::error::Error for ScriptError {}
 
 /// Deterministic fault injection: a fixed script of `(at, action)`
 /// pairs, each fired at the first tick at or after its time. Used to
 /// inject server failures and repairs into composed experiments
 /// without any randomness outside the seeded workload.
+#[derive(Debug)]
 pub struct ScriptController {
     script: Vec<(SimTime, Action)>,
     next: usize,
@@ -224,17 +233,13 @@ pub struct ScriptController {
 
 impl ScriptController {
     /// A script controller; entries must be in non-decreasing time
-    /// order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `script` times are not sorted.
-    pub fn new(script: Vec<(SimTime, Action)>) -> Self {
-        assert!(
-            script.windows(2).all(|w| w[0].0 <= w[1].0),
-            "script must be sorted by time"
-        );
-        ScriptController { script, next: 0 }
+    /// order, else this returns [`ScriptError`] naming the first
+    /// out-of-order entry.
+    pub fn new(script: Vec<(SimTime, Action)>) -> Result<Self, ScriptError> {
+        if let Some(pos) = script.windows(2).position(|w| w[0].0 > w[1].0) {
+            return Err(ScriptError { index: pos + 1 });
+        }
+        Ok(ScriptController { script, next: 0 })
     }
 
     /// Entries not yet fired.
@@ -257,13 +262,7 @@ impl Controller for ScriptController {
         actions
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
+    crate::impl_controller_downcast!();
 }
 
 /// The paper's virtual buffer as a controller: when servers fail, boost
@@ -273,6 +272,7 @@ impl Controller for ScriptController {
 /// the boost once the fleet is whole again.
 pub struct FailoverController {
     boost_ratio: f64,
+    restore_ratio: f64,
     boosted: bool,
 }
 
@@ -280,8 +280,17 @@ impl FailoverController {
     /// A failover controller that boosts survivors to `boost_ratio`
     /// (e.g. 1.2 = +20 %) while any server is down.
     pub fn new(boost_ratio: f64) -> Self {
+        Self::with_restore(boost_ratio, 1.0)
+    }
+
+    /// Like [`FailoverController::new`], but when the fleet heals the
+    /// frequency returns to `restore_ratio` instead of base — pass the
+    /// governor's standing grant so a failover cycle does not silently
+    /// de-overclock a fleet whose governor only re-issues on change.
+    pub fn with_restore(boost_ratio: f64, restore_ratio: f64) -> Self {
         FailoverController {
             boost_ratio,
+            restore_ratio,
             boosted: false,
         }
     }
@@ -312,7 +321,7 @@ impl Controller for FailoverController {
             self.boosted = false;
             actions.push(Action::SetFrequency {
                 target: FreqTarget::Fleet,
-                ratio: 1.0,
+                ratio: self.restore_ratio,
             });
         }
         for vm in &cluster.parked_vms {
@@ -321,13 +330,7 @@ impl Controller for FailoverController {
         actions
     }
 
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn Any {
-        self
-    }
+    crate::impl_controller_downcast!();
 }
 
 #[cfg(test)]
@@ -355,7 +358,8 @@ mod tests {
         let mut script = ScriptController::new(vec![
             (SimTime::from_secs(10), Action::FailServer { server: 0 }),
             (SimTime::from_secs(20), Action::RepairServer { server: 0 }),
-        ]);
+        ])
+        .expect("sorted script");
         let early = TelemetrySnapshot::at(SimTime::from_secs(5));
         assert!(script.observe(&early).is_empty());
         let mid = TelemetrySnapshot::at(SimTime::from_secs(12));
@@ -370,12 +374,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sorted")]
-    fn script_rejects_unsorted_entries() {
-        ScriptController::new(vec![
+    fn script_rejects_unsorted_entries_with_typed_error() {
+        let err = ScriptController::new(vec![
             (SimTime::from_secs(20), Action::FailServer { server: 0 }),
             (SimTime::from_secs(10), Action::RepairServer { server: 0 }),
-        ]);
+        ])
+        .expect_err("unsorted script must be rejected");
+        assert_eq!(err, ScriptError { index: 1 });
+        assert!(err.to_string().contains("sorted"));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use crate::action::{Action, FreqTarget, Outcome};
 use crate::controller::World;
 use crate::telemetry::VmTelemetry;
-use crate::telemetry::{ClusterTelemetry, DomainPower, PowerTelemetry, TelemetrySnapshot};
+use crate::telemetry::{
+    ClusterTelemetry, DomainPower, FaultTelemetry, PowerTelemetry, TelemetrySnapshot,
+};
 use ic_cluster::cluster::Cluster;
 use ic_cluster::placement::{Oversubscription, PlacementPolicy};
 use ic_cluster::server::ServerSpec;
@@ -21,6 +23,7 @@ use ic_power::cache::SteadyStateCache;
 use ic_power::capping::Priority;
 use ic_power::cpu::{CpuSku, SteadyState};
 use ic_power::units::Frequency;
+use ic_scenario::FaultConfig;
 use ic_sim::rng::StreamVersion;
 use ic_sim::time::SimTime;
 use ic_thermal::junction::ThermalInterface;
@@ -91,7 +94,10 @@ pub fn apply_to_sim(sim: &mut ClientServerSim, action: &Action) -> Outcome {
         | Action::RevokePower { .. }
         | Action::Migrate { .. }
         | Action::FailServer { .. }
-        | Action::RepairServer { .. } => Outcome::Rejected {
+        | Action::RepairServer { .. }
+        | Action::InjectErrorBurst { .. }
+        | Action::FreezeTelemetry { .. }
+        | Action::DropVmSensor { .. } => Outcome::Rejected {
             reason: "not modeled by this world",
         },
     }
@@ -170,43 +176,170 @@ pub struct FleetConfig {
     /// sequence byte-for-byte; [`StreamVersion::V2`] runs the buffered
     /// ziggurat fast path.
     pub rng_stream: StreamVersion,
+    /// Fault-injection configuration. `None` (the default) disables the
+    /// fault-telemetry section entirely, so fault-free worlds are
+    /// byte-identical to their pre-fault-injection behavior.
+    pub faults: Option<FaultConfig>,
 }
 
 impl FleetConfig {
-    /// A small composed fleet in the paper's shape: the Table XI
-    /// client-server workload on four-vcore VMs, an Open Compute
-    /// cluster, and two power domains (one critical, one batch) under
-    /// a budget that cannot satisfy both full asks.
+    /// A small composed fleet in the paper's shape.
+    #[deprecated(note = "use FleetConfigBuilder::small(seed).build()")]
     pub fn small(seed: u64) -> Self {
-        FleetConfig {
-            seed,
-            service_mean_s: 0.0028,
-            service_scv: 2.0,
-            vcores_per_vm: 4,
-            stall_fraction: 0.10,
-            initial_vms: 1,
-            schedule: vec![(0.0, 500.0), (300.0, 1000.0), (600.0, 1500.0)],
-            servers: 4,
-            oversub: 1.2,
-            vm_spec: VmSpec::new(4, 16.0),
-            budget_w: 500.0,
-            domains: vec![
-                DomainSpec {
-                    domain: 0,
-                    priority: Priority::Critical,
-                    floor_w: 150.0,
-                    demand_w: 305.0,
-                },
-                DomainSpec {
-                    domain: 1,
-                    priority: Priority::Batch,
-                    floor_w: 150.0,
-                    demand_w: 305.0,
-                },
-            ],
-            power_model: None,
-            rng_stream: StreamVersion::V1,
+        FleetConfigBuilder::small(seed).build()
+    }
+}
+
+/// Builder for [`FleetConfig`].
+///
+/// Starts from the paper-shaped `small` fleet (the Table XI
+/// client-server workload on four-vcore VMs, an Open Compute cluster,
+/// and two power domains — one critical, one batch — under a budget
+/// that cannot satisfy both full asks) and lets call sites override
+/// exactly the fields they care about:
+///
+/// ```
+/// use ic_controlplane::fleet::FleetConfigBuilder;
+/// let config = FleetConfigBuilder::small(42).initial_vms(3).build();
+/// assert_eq!(config.seed, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// The paper-shaped small fleet with the given workload seed; every
+    /// field can still be overridden before [`build`](Self::build).
+    pub fn small(seed: u64) -> Self {
+        FleetConfigBuilder {
+            config: FleetConfig {
+                seed,
+                service_mean_s: 0.0028,
+                service_scv: 2.0,
+                vcores_per_vm: 4,
+                stall_fraction: 0.10,
+                initial_vms: 1,
+                schedule: vec![(0.0, 500.0), (300.0, 1000.0), (600.0, 1500.0)],
+                servers: 4,
+                oversub: 1.2,
+                vm_spec: VmSpec::new(4, 16.0),
+                budget_w: 500.0,
+                domains: vec![
+                    DomainSpec {
+                        domain: 0,
+                        priority: Priority::Critical,
+                        floor_w: 150.0,
+                        demand_w: 305.0,
+                    },
+                    DomainSpec {
+                        domain: 1,
+                        priority: Priority::Batch,
+                        floor_w: 150.0,
+                        demand_w: 305.0,
+                    },
+                ],
+                power_model: None,
+                rng_stream: StreamVersion::V1,
+                faults: None,
+            },
         }
+    }
+
+    /// Workload RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Mean per-request core demand, seconds.
+    pub fn service_mean_s(mut self, mean_s: f64) -> Self {
+        self.config.service_mean_s = mean_s;
+        self
+    }
+
+    /// Service-time squared coefficient of variation.
+    pub fn service_scv(mut self, scv: f64) -> Self {
+        self.config.service_scv = scv;
+        self
+    }
+
+    /// Virtual cores per server VM (workload sim side).
+    pub fn vcores_per_vm(mut self, vcores: u32) -> Self {
+        self.config.vcores_per_vm = vcores;
+        self
+    }
+
+    /// Counter stall fraction of the workload.
+    pub fn stall_fraction(mut self, fraction: f64) -> Self {
+        self.config.stall_fraction = fraction;
+        self
+    }
+
+    /// Server VMs running (and placed) at t = 0.
+    pub fn initial_vms(mut self, vms: usize) -> Self {
+        self.config.initial_vms = vms;
+        self
+    }
+
+    /// Piecewise-constant client load: `(start_s, qps)` steps.
+    pub fn schedule(mut self, schedule: Vec<(f64, f64)>) -> Self {
+        self.config.schedule = schedule;
+        self
+    }
+
+    /// Physical servers in the cluster.
+    pub fn servers(mut self, servers: usize) -> Self {
+        self.config.servers = servers;
+        self
+    }
+
+    /// vcore oversubscription ratio (1.0 = none).
+    pub fn oversub(mut self, oversub: f64) -> Self {
+        self.config.oversub = oversub;
+        self
+    }
+
+    /// The placement shape of every serving VM.
+    pub fn vm_spec(mut self, spec: VmSpec) -> Self {
+        self.config.vm_spec = spec;
+        self
+    }
+
+    /// Provisioned power budget shared by all domains, watts.
+    pub fn budget_w(mut self, watts: f64) -> Self {
+        self.config.budget_w = watts;
+        self
+    }
+
+    /// The power domains under the budget (ids strictly ascending).
+    pub fn domains(mut self, domains: Vec<DomainSpec>) -> Self {
+        self.config.domains = domains;
+        self
+    }
+
+    /// Physical demand model replacing the static domain asks.
+    pub fn power_model(mut self, model: PowerModelSpec) -> Self {
+        self.config.power_model = Some(model);
+        self
+    }
+
+    /// Sampler stream version of the workload sim.
+    pub fn rng_stream(mut self, version: StreamVersion) -> Self {
+        self.config.rng_stream = version;
+        self
+    }
+
+    /// Fault-injection configuration (enables the fault-telemetry
+    /// section and the fault actuation verbs).
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = Some(faults);
+        self
+    }
+
+    /// The finished configuration.
+    pub fn build(self) -> FleetConfig {
+        self.config
     }
 }
 
@@ -239,6 +372,67 @@ pub struct FleetWorld {
     snap: TelemetrySnapshot,
     cluster_dirty: bool,
     power_model: Option<FleetPowerModel>,
+    /// Fault-injection runtime state, present iff the config carried a
+    /// [`FaultConfig`].
+    faults: Option<FaultState>,
+    /// Per-server failure start times (for any `FailServer`, scripted
+    /// or injected), settled into `downtime_s` on repair.
+    down_since: Vec<Option<SimTime>>,
+    /// Total completed server downtime, seconds (open failure intervals
+    /// are settled by [`FleetWorld::downtime_s`]).
+    downtime_s: f64,
+    /// Accepted `FailServer` transitions (healthy → failed).
+    failures_applied: u64,
+    /// Parked VMs successfully migrated back into service.
+    recovered_vms: u64,
+}
+
+/// Runtime state of fault injection (the actuation side; the event
+/// *sources* — wear process, fault plan — live outside the world).
+struct FaultState {
+    config: FaultConfig,
+    /// Authoritative copies of the fault-telemetry fields; the snapshot
+    /// section mirrors these at actuation time and
+    /// [`FleetWorld::recompute_snapshot`] rebuilds from them.
+    version: u64,
+    fleet_ratio: f64,
+    error_bursts: u64,
+    errors_by_server: Vec<u64>,
+    /// Active sensor dropouts: `(vm, until)`.
+    dropouts: Vec<(u64, SimTime)>,
+    /// Stale-telemetry freeze: the snapshot cloned at freeze time,
+    /// content served unchanged (clock refreshed) until the instant.
+    frozen: Option<(SimTime, Box<TelemetrySnapshot>)>,
+}
+
+impl FaultState {
+    fn new(config: FaultConfig, servers: usize) -> Self {
+        FaultState {
+            config,
+            version: 0,
+            fleet_ratio: 1.0,
+            error_bursts: 0,
+            errors_by_server: vec![0; servers],
+            dropouts: Vec::new(),
+            frozen: None,
+        }
+    }
+
+    fn telemetry(&self) -> FaultTelemetry {
+        FaultTelemetry {
+            version: self.version,
+            fleet_ratio: self.fleet_ratio,
+            error_bursts: self.error_bursts,
+            errors_by_server: self.errors_by_server.clone(),
+        }
+    }
+
+    fn frozen_at(&self, now: SimTime) -> Option<&TelemetrySnapshot> {
+        match &self.frozen {
+            Some((until, snap)) if now < *until => Some(snap),
+            _ => None,
+        }
+    }
 }
 
 /// Runtime state of the optional physical demand model.
@@ -370,6 +564,10 @@ impl FleetWorld {
             packing_density: 0.0,
             parked_vms: Vec::new(),
         });
+        let faults = config
+            .faults
+            .map(|fault_config| FaultState::new(fault_config, config.servers));
+        snap.faults = faults.as_ref().map(FaultState::telemetry);
         FleetWorld {
             sim,
             cluster,
@@ -384,6 +582,11 @@ impl FleetWorld {
             snap,
             cluster_dirty: true,
             power_model,
+            faults,
+            down_since: vec![None; config.servers],
+            downtime_s: 0.0,
+            failures_applied: 0,
+            recovered_vms: 0,
         }
     }
 
@@ -428,13 +631,78 @@ impl FleetWorld {
             .map_or((0, 0), |m| (m.cache.hits(), m.cache.misses()))
     }
 
+    /// The fault-injection configuration, if this world has one.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref().map(|f| &f.config)
+    }
+
+    /// Accepted `FailServer` transitions (healthy → failed) so far,
+    /// scripted and injected alike.
+    pub fn failures_applied(&self) -> u64 {
+        self.failures_applied
+    }
+
+    /// Parked VMs successfully migrated back into service so far.
+    pub fn recovered_vms(&self) -> u64 {
+        self.recovered_vms
+    }
+
+    /// Total server downtime, seconds, with failure intervals still
+    /// open at `horizon` settled against it.
+    pub fn downtime_s(&self, horizon: SimTime) -> f64 {
+        let open: f64 = self
+            .down_since
+            .iter()
+            .flatten()
+            .map(|t0| (horizon.as_secs_f64() - t0.as_secs_f64()).max(0.0))
+            .sum();
+        self.downtime_s + open
+    }
+
+    /// Fleet availability over `[0, horizon]`: the fraction of
+    /// server-seconds the fleet was not failed.
+    pub fn availability(&self, horizon: SimTime) -> f64 {
+        let total = self.down_since.len() as f64 * horizon.as_secs_f64();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        1.0 - self.downtime_s(horizon) / total
+    }
+
     /// Rebuilds the whole snapshot from authoritative state (sim,
-    /// cluster, grants map, domain specs, power model), ignoring the
-    /// incrementally-maintained copy. The incremental snapshot must be
-    /// bitwise-equal to this at every tick — the property tests pin
-    /// that; production ticks never pay this cost.
+    /// cluster, grants map, domain specs, power model, fault state),
+    /// ignoring the incrementally-maintained copy. The incremental
+    /// snapshot must be bitwise-equal to this at every tick — the
+    /// property tests pin that; production ticks never pay this cost.
+    ///
+    /// An active stale-telemetry freeze is part of the
+    /// [`World::telemetry`] contract, so inside a freeze window this
+    /// returns the frozen snapshot too.
     pub fn recompute_snapshot(&self, now: SimTime) -> TelemetrySnapshot {
+        if let Some(frozen) = self.faults.as_ref().and_then(|f| f.frozen_at(now)) {
+            // The freeze stales the *content*, not the clock:
+            // controllers always know wall time, and time-difference
+            // arithmetic (cooldowns, windows) must never run backwards.
+            let mut snap = frozen.clone();
+            snap.now = now;
+            return snap;
+        }
+        self.recompute_snapshot_live(now)
+    }
+
+    /// The from-scratch rebuild itself, ignoring any active freeze —
+    /// also what [`Action::FreezeTelemetry`] clones as the frozen view.
+    fn recompute_snapshot_live(&self, now: SimTime) -> TelemetrySnapshot {
         let mut snapshot = sim_snapshot(&self.sim, now);
+        if let Some(faults) = &self.faults {
+            snapshot.vms.retain(|row| {
+                !faults
+                    .dropouts
+                    .iter()
+                    .any(|&(vm, until)| vm == row.vm && now < until)
+            });
+            snapshot.faults = Some(faults.telemetry());
+        }
         snapshot.power = Some(PowerTelemetry {
             budget_w: self.budget_w,
             version: self.snap.power.as_ref().map_or(0, |p| p.version),
@@ -544,12 +812,41 @@ impl World for FleetWorld {
     }
 
     fn telemetry(&mut self, now: SimTime) -> &TelemetrySnapshot {
+        // A stale-telemetry fault serves the frozen clone with its
+        // content untouched — only the clock advances, so controller
+        // time arithmetic never runs backwards. Expired freezes thaw
+        // on the next read. (Checked before the borrow so the early
+        // return does not pin `self.faults`.)
+        let frozen_active = self
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.frozen_at(now).is_some());
+        if frozen_active {
+            let faults = self.faults.as_mut().expect("frozen implies fault state");
+            let (_, snap) = faults.frozen.as_mut().expect("checked above");
+            snap.now = now;
+            return snap;
+        }
+        if let Some(faults) = &mut self.faults {
+            faults.frozen = None;
+        }
         // VM rows carry the tick's wall-clock sample, so they are
         // refilled every tick — but into the persistent buffer, with
         // no allocation at steady state. The power section was kept
         // current at actuation time; the cluster section is recomputed
         // only when placement state actually moved.
         sim_snapshot_into(&self.sim, now, &mut self.snap);
+        if let Some(faults) = &mut self.faults {
+            // Expired dropouts are pruned here (the only time-driven
+            // fault state), so steady-state reads stay allocation-free.
+            faults.dropouts.retain(|&(_, until)| now < until);
+            if !faults.dropouts.is_empty() {
+                let dropouts = &faults.dropouts;
+                self.snap
+                    .vms
+                    .retain(|row| !dropouts.iter().any(|&(vm, _)| vm == row.vm));
+            }
+        }
         if self.cluster_dirty {
             let cluster = self.snap.cluster.as_mut().expect("fleet models placement");
             cluster.failed_servers.clear();
@@ -614,6 +911,13 @@ impl World for FleetWorld {
             }
             Action::FailServer { server } => match self.cluster.fail_server(now, *server) {
                 Ok(report) => {
+                    // Downtime accounting: only a healthy → failed
+                    // transition opens an interval (failing an
+                    // already-failed server is a no-op re-fail).
+                    if self.down_since[*server].is_none() {
+                        self.down_since[*server] = Some(now);
+                        self.failures_applied += 1;
+                    }
                     self.remap_recreated(&report.recreated);
                     for cid in &report.unplaced {
                         if let Some(pos) = self.vm_map.iter().position(|&(_, c)| c == *cid) {
@@ -634,6 +938,11 @@ impl World for FleetWorld {
             },
             Action::RepairServer { server } => match self.cluster.repair_server(now, *server) {
                 Ok(()) => {
+                    // Repairing a healthy server is an accepted no-op;
+                    // only a real repair settles the open interval.
+                    if let Some(t0) = self.down_since[*server].take() {
+                        self.downtime_s += (now.as_secs_f64() - t0.as_secs_f64()).max(0.0);
+                    }
                     self.cluster_dirty = true;
                     Outcome::Applied
                 }
@@ -654,6 +963,7 @@ impl World for FleetWorld {
                         let new_vm = self.sim.add_vm() as u64;
                         self.vm_map.push((new_vm, cid));
                         self.cluster_dirty = true;
+                        self.recovered_vms += 1;
                         Outcome::Migrated {
                             vm: new_vm,
                             to: host,
@@ -669,7 +979,53 @@ impl World for FleetWorld {
                 ratio,
             } => {
                 self.refresh_demands(*ratio);
+                if let Some(faults) = &mut self.faults {
+                    if faults.fleet_ratio != *ratio {
+                        faults.fleet_ratio = *ratio;
+                        faults.version += 1;
+                        self.snap.faults = Some(faults.telemetry());
+                    }
+                }
                 apply_to_sim(&mut self.sim, action)
+            }
+            Action::InjectErrorBurst { server, count } => {
+                let Some(faults) = &mut self.faults else {
+                    return Outcome::Rejected {
+                        reason: "fault injection disabled",
+                    };
+                };
+                let Some(slot) = faults.errors_by_server.get_mut(*server) else {
+                    return Outcome::Rejected {
+                        reason: "unknown server",
+                    };
+                };
+                *slot += count;
+                faults.error_bursts += 1;
+                faults.version += 1;
+                self.snap.faults = Some(faults.telemetry());
+                Outcome::Applied
+            }
+            Action::FreezeTelemetry { until } => {
+                if self.faults.is_none() {
+                    return Outcome::Rejected {
+                        reason: "fault injection disabled",
+                    };
+                }
+                // Capture telemetry exactly as a tick at `now` would
+                // see it, then serve that clone until the thaw.
+                let frozen = Box::new(self.recompute_snapshot_live(now));
+                let faults = self.faults.as_mut().expect("checked above");
+                faults.frozen = Some((*until, frozen));
+                Outcome::Applied
+            }
+            Action::DropVmSensor { vm, until } => {
+                let Some(faults) = &mut self.faults else {
+                    return Outcome::Rejected {
+                        reason: "fault injection disabled",
+                    };
+                };
+                faults.dropouts.push((*vm, *until));
+                Outcome::Applied
             }
             _ => apply_to_sim(&mut self.sim, action),
         }
@@ -761,7 +1117,7 @@ mod tests {
 
     #[test]
     fn fleet_world_serves_power_and_cluster_telemetry() {
-        let mut world = FleetWorld::new(FleetConfig::small(3));
+        let mut world = FleetWorld::new(FleetConfigBuilder::small(3).build());
         let snap = world.telemetry(SimTime::ZERO).clone();
         assert_eq!(snap.vms.len(), 1);
         let power = snap.power.expect("fleet models power");
@@ -775,7 +1131,7 @@ mod tests {
 
     #[test]
     fn grants_land_and_revoke() {
-        let mut world = FleetWorld::new(FleetConfig::small(3));
+        let mut world = FleetWorld::new(FleetConfigBuilder::small(3).build());
         let granted = world.apply(
             SimTime::ZERO,
             "powercap",
@@ -822,13 +1178,14 @@ mod tests {
 
     #[test]
     fn failover_parks_unplaced_vms_and_migrate_replaces_them() {
-        let mut config = FleetConfig::small(5);
         // Two servers, VMs sized so each server holds exactly one: any
         // failure strands its VM.
-        config.servers = 2;
-        config.oversub = 1.0;
-        config.initial_vms = 2;
-        config.vm_spec = VmSpec::new(48, 64.0);
+        let config = FleetConfigBuilder::small(5)
+            .servers(2)
+            .oversub(1.0)
+            .initial_vms(2)
+            .vm_spec(VmSpec::new(48, 64.0))
+            .build();
         let mut world = FleetWorld::new(config);
         let t = SimTime::from_secs(10);
 
@@ -868,8 +1225,7 @@ mod tests {
         // Plenty of room: failing a server re-creates its VM elsewhere
         // under a fresh cluster id; a later ScaleIn on the sim VM must
         // still release the (remapped) cluster placement.
-        let mut config = FleetConfig::small(7);
-        config.initial_vms = 3;
+        let config = FleetConfigBuilder::small(7).initial_vms(3).build();
         let mut world = FleetWorld::new(config);
         let t = SimTime::from_secs(5);
         let hosted: Vec<usize> = (0..world.cluster().servers().len())
@@ -898,11 +1254,12 @@ mod tests {
 
     #[test]
     fn scale_out_completion_is_gated_by_cluster_capacity() {
-        let mut config = FleetConfig::small(9);
-        config.servers = 1;
-        config.oversub = 1.0;
-        config.initial_vms = 1;
-        config.vm_spec = VmSpec::new(48, 64.0);
+        let config = FleetConfigBuilder::small(9)
+            .servers(1)
+            .oversub(1.0)
+            .initial_vms(1)
+            .vm_spec(VmSpec::new(48, 64.0))
+            .build();
         let mut world = FleetWorld::new(config);
         let declined = world.complete_scale_out(SimTime::from_secs(1));
         assert_eq!(
@@ -928,7 +1285,7 @@ mod tests {
         for step in 0..steps {
             t += SimDuration::from_secs_f64(rng.uniform_range(0.1, 5.0));
             world.advance_to(t);
-            match rng.index(9) {
+            match rng.index(12) {
                 0 => {
                     let _ = world.apply(
                         t,
@@ -982,6 +1339,22 @@ mod tests {
                         let _ = world.apply(t, "prop", &Action::Migrate { vm });
                     }
                 }
+                8 => {
+                    // Includes an out-of-range server; rejected on
+                    // fault-free worlds.
+                    let server = rng.index(servers + 1);
+                    let count = 1 + rng.index(50) as u64;
+                    let _ = world.apply(t, "prop", &Action::InjectErrorBurst { server, count });
+                }
+                9 => {
+                    let until = t + SimDuration::from_secs_f64(rng.uniform_range(0.5, 8.0));
+                    let _ = world.apply(t, "prop", &Action::FreezeTelemetry { until });
+                }
+                10 => {
+                    let vm = rng.index(8) as u64;
+                    let until = t + SimDuration::from_secs_f64(rng.uniform_range(0.5, 8.0));
+                    let _ = world.apply(t, "prop", &Action::DropVmSensor { vm, until });
+                }
                 _ => {
                     let share = rng.uniform_range(0.5, 1.0);
                     let _ = world.apply(t, "prop", &Action::SetShare { share });
@@ -1007,8 +1380,7 @@ mod tests {
     #[test]
     fn incremental_snapshot_matches_recompute_under_random_actuation() {
         for seed in [11, 52, 93] {
-            let mut config = FleetConfig::small(seed);
-            config.initial_vms = 3;
+            let config = FleetConfigBuilder::small(seed).initial_vms(3).build();
             check_incremental_matches_recompute(FleetWorld::new(config), seed, 120);
         }
     }
@@ -1017,24 +1389,224 @@ mod tests {
     fn incremental_snapshot_matches_recompute_with_physical_power_model() {
         use ic_thermal::fluid::DielectricFluid;
         for seed in [7, 41] {
-            let mut config = FleetConfig::small(seed);
-            config.initial_vms = 3;
-            config.power_model = Some(PowerModelSpec {
-                sku: CpuSku::xeon_w3175x(),
-                bins: (0..3)
-                    .map(|b| {
-                        ThermalInterface::two_phase(
-                            DielectricFluid::hfe7000(),
-                            0.084 + 0.002 * b as f64,
-                            0.0,
-                        )
-                    })
-                    .collect(),
-                base_ghz: 3.4,
-            });
+            let config = FleetConfigBuilder::small(seed)
+                .initial_vms(3)
+                .power_model(PowerModelSpec {
+                    sku: CpuSku::xeon_w3175x(),
+                    bins: (0..3)
+                        .map(|b| {
+                            ThermalInterface::two_phase(
+                                DielectricFluid::hfe7000(),
+                                0.084 + 0.002 * b as f64,
+                                0.0,
+                            )
+                        })
+                        .collect(),
+                    base_ghz: 3.4,
+                })
+                .build();
             let world = FleetWorld::new(config);
             check_incremental_matches_recompute(world, seed, 120);
         }
+    }
+
+    #[test]
+    fn incremental_snapshot_matches_recompute_with_faults_enabled() {
+        for seed in [13, 77] {
+            let config = FleetConfigBuilder::small(seed)
+                .initial_vms(3)
+                .faults(FaultConfig::disabled())
+                .build();
+            check_incremental_matches_recompute(FleetWorld::new(config), seed, 160);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn builder_small_preset_matches_deprecated_constructor() {
+        let legacy = FleetConfig::small(42);
+        let built = FleetConfigBuilder::small(42).build();
+        assert_eq!(format!("{legacy:?}"), format!("{built:?}"));
+    }
+
+    #[test]
+    fn error_bursts_accumulate_and_are_rejected_without_fault_config() {
+        let mut plain = FleetWorld::new(FleetConfigBuilder::small(1).build());
+        assert!(!plain
+            .apply(
+                SimTime::ZERO,
+                "chaos",
+                &Action::InjectErrorBurst {
+                    server: 0,
+                    count: 3
+                }
+            )
+            .accepted());
+        assert!(plain.telemetry(SimTime::ZERO).faults.is_none());
+
+        let mut world = FleetWorld::new(
+            FleetConfigBuilder::small(1)
+                .faults(FaultConfig::disabled())
+                .build(),
+        );
+        let t = SimTime::from_secs(1);
+        assert!(world
+            .apply(
+                t,
+                "chaos",
+                &Action::InjectErrorBurst {
+                    server: 2,
+                    count: 5
+                }
+            )
+            .accepted());
+        assert!(world
+            .apply(
+                t,
+                "chaos",
+                &Action::InjectErrorBurst {
+                    server: 2,
+                    count: 2
+                }
+            )
+            .accepted());
+        assert!(!world
+            .apply(
+                t,
+                "chaos",
+                &Action::InjectErrorBurst {
+                    server: 9,
+                    count: 1
+                }
+            )
+            .accepted());
+        let faults = world.telemetry(t).faults.clone().expect("fault section");
+        assert_eq!(faults.errors_by_server, vec![0, 0, 7, 0]);
+        assert_eq!(faults.error_bursts, 2);
+        assert_eq!(faults.version, 2);
+    }
+
+    #[test]
+    fn freeze_telemetry_serves_stale_snapshot_until_thaw() {
+        let mut world = FleetWorld::new(
+            FleetConfigBuilder::small(3)
+                .initial_vms(2)
+                .faults(FaultConfig::disabled())
+                .build(),
+        );
+        let t0 = SimTime::from_secs(5);
+        world.advance_to(t0);
+        assert!(world
+            .apply(
+                t0,
+                "fault",
+                &Action::FreezeTelemetry {
+                    until: SimTime::from_secs(20)
+                }
+            )
+            .accepted());
+        let frozen = world.telemetry(SimTime::from_secs(10)).clone();
+        assert_eq!(
+            frozen.now,
+            SimTime::from_secs(10),
+            "the clock stays live; only the content freezes"
+        );
+        // A scale-in lands on the world but the frozen view hides it.
+        let vm = frozen.vms[0].vm;
+        assert!(world
+            .apply(SimTime::from_secs(12), "asc", &Action::ScaleIn { vm })
+            .accepted());
+        let still = world.telemetry(SimTime::from_secs(15)).clone();
+        assert_eq!(still.vms.len(), 2, "stale telemetry hides the scale-in");
+        assert_eq!(
+            world.recompute_snapshot(SimTime::from_secs(15)),
+            still,
+            "recompute honors the freeze contract"
+        );
+        // Past the thaw instant the live state shows through.
+        let live = world.telemetry(SimTime::from_secs(20));
+        assert_eq!(live.now, SimTime::from_secs(20));
+        assert_eq!(live.vms.len(), 1);
+    }
+
+    #[test]
+    fn sensor_dropout_hides_vm_rows_until_expiry() {
+        let mut world = FleetWorld::new(
+            FleetConfigBuilder::small(3)
+                .initial_vms(2)
+                .faults(FaultConfig::disabled())
+                .build(),
+        );
+        let t = SimTime::from_secs(1);
+        let vm = world.telemetry(t).vms[0].vm;
+        assert!(world
+            .apply(
+                t,
+                "fault",
+                &Action::DropVmSensor {
+                    vm,
+                    until: SimTime::from_secs(10)
+                }
+            )
+            .accepted());
+        let during = world.telemetry(SimTime::from_secs(5));
+        assert_eq!(during.vms.len(), 1);
+        assert!(during.vm(vm).is_none(), "dropped sensor is invisible");
+        let after = world.telemetry(SimTime::from_secs(10));
+        assert_eq!(after.vms.len(), 2, "sensor returns at expiry");
+    }
+
+    #[test]
+    fn downtime_accounting_tracks_fail_and_repair() {
+        let mut world = FleetWorld::new(FleetConfigBuilder::small(5).build());
+        let horizon = SimTime::from_secs(100);
+        assert_eq!(world.downtime_s(horizon), 0.0);
+        assert_eq!(world.availability(horizon), 1.0);
+
+        assert!(world
+            .apply(
+                SimTime::from_secs(10),
+                "script",
+                &Action::FailServer { server: 1 }
+            )
+            .accepted());
+        // Re-failing an already-failed server must not double-count.
+        assert!(world
+            .apply(
+                SimTime::from_secs(12),
+                "script",
+                &Action::FailServer { server: 1 }
+            )
+            .accepted());
+        assert_eq!(world.failures_applied(), 1);
+        assert!(world
+            .apply(
+                SimTime::from_secs(40),
+                "script",
+                &Action::RepairServer { server: 1 }
+            )
+            .accepted());
+        // Repairing a healthy server is a no-op for accounting.
+        assert!(world
+            .apply(
+                SimTime::from_secs(50),
+                "script",
+                &Action::RepairServer { server: 1 }
+            )
+            .accepted());
+        assert_eq!(world.downtime_s(horizon), 30.0);
+
+        // An interval still open at the horizon settles against it.
+        assert!(world
+            .apply(
+                SimTime::from_secs(80),
+                "script",
+                &Action::FailServer { server: 0 }
+            )
+            .accepted());
+        assert_eq!(world.downtime_s(horizon), 50.0);
+        // 4 servers × 100 s = 400 server-seconds; 50 lost.
+        assert!((world.availability(horizon) - 0.875).abs() < 1e-12);
     }
 
     #[test]

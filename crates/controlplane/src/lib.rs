@@ -38,8 +38,9 @@ pub mod telemetry;
 
 pub use action::{Action, FreqTarget, Outcome};
 pub use controller::{Controller, TickReport, World};
-pub use fleet::{DomainSpec, FleetConfig, FleetWorld, PowerModelSpec};
-pub use plane::{ControlPlane, ControllerId};
+pub use controllers::ScriptError;
+pub use fleet::{DomainSpec, FleetConfig, FleetConfigBuilder, FleetWorld, PowerModelSpec};
+pub use plane::{ControlPlane, ControllerId, FaultPlan};
 pub use telemetry::{
-    ClusterTelemetry, DomainPower, PowerTelemetry, TelemetrySnapshot, VmTelemetry,
+    ClusterTelemetry, DomainPower, FaultTelemetry, PowerTelemetry, TelemetrySnapshot, VmTelemetry,
 };

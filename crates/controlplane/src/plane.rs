@@ -25,6 +25,37 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ControllerId(usize);
 
+/// A time-ordered list of fault actuations, scheduled into the control
+/// plane as ordinary DES events by [`ControlPlane::schedule_faults`].
+///
+/// Unlike a `ScriptController` (which fires at its own tick *after* its
+/// time passes), plan entries land on the world at their exact instant,
+/// between controller ticks — the actuation path for exogenous faults
+/// like telemetry freezes and sensor dropouts.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    entries: Vec<(SimTime, Action)>,
+}
+
+impl FaultPlan {
+    /// A plan from `(at, action)` pairs; entries are sorted by time
+    /// (stable, so same-instant entries keep their given order).
+    pub fn new(mut entries: Vec<(SimTime, Action)>) -> Self {
+        entries.sort_by_key(|&(at, _)| at);
+        FaultPlan { entries }
+    }
+
+    /// Entries in firing order.
+    pub fn entries(&self) -> &[(SimTime, Action)] {
+        &self.entries
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 struct Entry {
     controller: Box<dyn Controller>,
     cadence: SimDuration,
@@ -157,6 +188,36 @@ impl<W: World + 'static> ControlPlane<W> {
     /// world's own engines count their events separately).
     pub fn events_processed(&self) -> u64 {
         self.engine.events_processed()
+    }
+
+    /// Schedules every entry of `plan` as a DES event (`kind =
+    /// "fault"`) that applies its action to the world at its exact
+    /// instant — after any controller tick scheduled for the same time
+    /// (faults are inserted later, and ties fire in insertion order).
+    /// No controller owns these actions, so no `applied` notification
+    /// fires; controllers see the effects through telemetry.
+    pub fn schedule_faults(&mut self, plan: FaultPlan) {
+        for (at, action) in plan.entries {
+            self.engine
+                .schedule_labeled(at, "fault", move |state, engine| {
+                    let now = engine.now();
+                    state.world.pre_tick(now);
+                    state.world.advance_to(now);
+                    let outcome = state.world.apply(now, "fault", &action);
+                    if !state.sinks.is_quiet() {
+                        state.sinks.instant(
+                            now,
+                            "chaos",
+                            TraceLevel::Info,
+                            "fault",
+                            vec![
+                                ("verb", Value::Str(action.verb().to_string())),
+                                ("accepted", Value::Bool(outcome.accepted())),
+                            ],
+                        );
+                    }
+                });
+        }
     }
 
     /// Runs every registered controller against the world up to `end`

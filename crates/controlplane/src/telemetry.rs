@@ -72,6 +72,22 @@ pub struct ClusterTelemetry {
     pub parked_vms: Vec<u64>,
 }
 
+/// Fault-injection state (present only in worlds with a fault config).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTelemetry {
+    /// Monotone change counter, bumped whenever any field below moves
+    /// (same skip contract as [`PowerTelemetry::version`]).
+    pub version: u64,
+    /// The last fleet-wide commanded frequency ratio (1.0 = base).
+    /// Degradation controllers step down from here; the fault process
+    /// derives the wear operating point from it.
+    pub fleet_ratio: f64,
+    /// Correctable-error bursts injected so far, fleet-wide.
+    pub error_bursts: u64,
+    /// Cumulative injected correctable errors per server index.
+    pub errors_by_server: Vec<u64>,
+}
+
 /// Everything a controller may observe at one control tick.
 ///
 /// Handed out by [`crate::World::telemetry`] each tick as a borrowed
@@ -88,6 +104,8 @@ pub struct TelemetrySnapshot {
     pub power: Option<PowerTelemetry>,
     /// Cluster section, if the world models placement.
     pub cluster: Option<ClusterTelemetry>,
+    /// Fault-injection section, if the world has a fault config.
+    pub faults: Option<FaultTelemetry>,
 }
 
 impl TelemetrySnapshot {
@@ -120,6 +138,7 @@ mod tests {
         assert!(snap.vms.is_empty());
         assert!(snap.power.is_none());
         assert!(snap.cluster.is_none());
+        assert!(snap.faults.is_none());
         assert!(snap.vm(0).is_none());
     }
 

@@ -29,7 +29,9 @@
 //! * [`wear`] — wear-out credit accounting for trading lifetime against
 //!   extra overclocking,
 //! * [`stability`] — the correctable-error / computational-stability
-//!   model and monitor (Takeaway 3).
+//!   model and monitor (Takeaway 3),
+//! * [`hazard`] — hazard integration turning the rate models into
+//!   event times for discrete-event fault injection (`ic-chaos`).
 //!
 //! # Example
 //!
@@ -43,11 +45,13 @@
 //! ```
 
 pub mod fitting;
+pub mod hazard;
 pub mod lifetime;
 pub mod mechanisms;
 pub mod stability;
 pub mod wear;
 
+pub use hazard::HazardIntegrator;
 pub use lifetime::{CompositeLifetimeModel, OperatingConditions};
 pub use stability::StabilityModel;
 pub use wear::WearTracker;

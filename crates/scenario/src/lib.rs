@@ -108,6 +108,11 @@ pub struct Scenario {
     pub reliability: ReliabilityCalibration,
     /// Application and configuration catalogs (`ic-workloads`).
     pub workloads: WorkloadCalibration,
+    /// Optional fault-injection configuration (`ic-chaos`). Scenario
+    /// JSON written before fault injection existed decodes as `None`,
+    /// and `None` is omitted on encode, so fault-free scenarios
+    /// round-trip byte-identically to their historical form.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Thermal calibration: Table II fluids, Table III platform fits, and
@@ -374,6 +379,226 @@ pub struct GpuConfigSpec {
 }
 
 // ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Deterministic fault-injection configuration, consumed by the
+/// `ic-chaos` crate and carried on `FleetConfig` into composed worlds.
+///
+/// Hardware faults (server failures, correctable-error bursts) are
+/// drawn from ic-reliability's wear models along each server's actual
+/// operating-point history; the `*_scale` knobs accelerate the
+/// multi-year physical rates onto simulated-minute horizons without
+/// distorting their relative (V, T_j) sensitivity. Control-plane
+/// faults (stale telemetry, sensor dropout, stalled controllers) fire
+/// at fixed scheduled windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Chaos RNG seed. Per-server draw streams are counter-split from
+    /// this seed, disjoint from the workload streams, so fault timing
+    /// is pure in `(seed, server)` and independent of fleet size.
+    pub seed: u64,
+    /// Multiplier on the wear-model failure rate (accelerated aging; 0
+    /// disables wear failures).
+    pub hazard_scale: f64,
+    /// Multiplier on the correctable-error burst intensity (0 disables
+    /// error bursts).
+    pub error_scale: f64,
+    /// Shortest repair time, seconds. Each failure draws its repair
+    /// delay uniformly from `[repair_min_s, repair_max_s]`.
+    pub repair_min_s: f64,
+    /// Longest repair time, seconds.
+    pub repair_max_s: f64,
+    /// Stale-telemetry windows: every controller sees a snapshot frozen
+    /// at the window's start until the window ends.
+    pub stale_telemetry: Vec<FaultWindow>,
+    /// Sensor dropouts: the VM's telemetry row is hidden inside the
+    /// window.
+    pub sensor_dropouts: Vec<SensorDropout>,
+    /// Stalled controllers, by controller name: the named controller
+    /// makes no decisions inside the window.
+    pub stalled_controllers: Vec<StalledWindow>,
+}
+
+/// A half-open `[from_s, until_s)` fault window, seconds of sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start, seconds.
+    pub from_s: f64,
+    /// Window end, seconds.
+    pub until_s: f64,
+}
+
+/// One VM telemetry sensor going dark for a window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorDropout {
+    /// The VM whose row is hidden.
+    pub vm: u64,
+    /// The dropout window.
+    pub window: FaultWindow,
+}
+
+/// One controller stalled (making no decisions) for a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StalledWindow {
+    /// The stalled controller's `Controller::name`.
+    pub controller: String,
+    /// The stall window.
+    pub window: FaultWindow,
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing: zero hazard and error
+    /// scales, no control-plane fault windows. Useful as a builder
+    /// starting point.
+    pub fn disabled() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            hazard_scale: 0.0,
+            error_scale: 0.0,
+            repair_min_s: 60.0,
+            repair_max_s: 120.0,
+            stale_telemetry: Vec::new(),
+            sensor_dropouts: Vec::new(),
+            stalled_controllers: Vec::new(),
+        }
+    }
+
+    /// Validates scales, repair window, and fault windows.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let fail = |message: String| Err(ScenarioError::Invalid { message });
+        if !self.hazard_scale.is_finite() || self.hazard_scale < 0.0 {
+            return fail(format!(
+                "faults.hazard_scale must be finite and >= 0, got {}",
+                self.hazard_scale
+            ));
+        }
+        if !self.error_scale.is_finite() || self.error_scale < 0.0 {
+            return fail(format!(
+                "faults.error_scale must be finite and >= 0, got {}",
+                self.error_scale
+            ));
+        }
+        if !(self.repair_min_s.is_finite() && self.repair_max_s.is_finite())
+            || self.repair_min_s < 0.0
+            || self.repair_min_s > self.repair_max_s
+        {
+            return fail(format!(
+                "faults repair window must satisfy 0 <= repair_min_s <= repair_max_s, got [{}, {}]",
+                self.repair_min_s, self.repair_max_s
+            ));
+        }
+        let windows = self
+            .stale_telemetry
+            .iter()
+            .chain(self.sensor_dropouts.iter().map(|d| &d.window))
+            .chain(self.stalled_controllers.iter().map(|sc| &sc.window));
+        for w in windows {
+            if !(w.from_s.is_finite() && w.until_s.is_finite()) || w.from_s > w.until_s {
+                return fail(format!(
+                    "fault window [{}, {}) must have from_s <= until_s",
+                    w.from_s, w.until_s
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn to_tree(&self) -> Json {
+        obj(vec![
+            ("seed", num(self.seed as f64)),
+            ("hazard_scale", num(self.hazard_scale)),
+            ("error_scale", num(self.error_scale)),
+            ("repair_min_s", num(self.repair_min_s)),
+            ("repair_max_s", num(self.repair_max_s)),
+            (
+                "stale_telemetry",
+                Json::Arr(self.stale_telemetry.iter().map(|w| w.to_tree()).collect()),
+            ),
+            (
+                "sensor_dropouts",
+                Json::Arr(self.sensor_dropouts.iter().map(|d| d.to_tree()).collect()),
+            ),
+            (
+                "stalled_controllers",
+                Json::Arr(
+                    self.stalled_controllers
+                        .iter()
+                        .map(StalledWindow::to_tree)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_tree(v: &Json, path: &str) -> Result<Self, ScenarioError> {
+        Ok(FaultConfig {
+            seed: u64_field(v, "seed", path)?,
+            hazard_scale: f64_field(v, "hazard_scale", path)?,
+            error_scale: f64_field(v, "error_scale", path)?,
+            repair_min_s: f64_field(v, "repair_min_s", path)?,
+            repair_max_s: f64_field(v, "repair_max_s", path)?,
+            stale_telemetry: decode_vec(v, "stale_telemetry", path, FaultWindow::from_tree)?,
+            sensor_dropouts: decode_vec(v, "sensor_dropouts", path, SensorDropout::from_tree)?,
+            stalled_controllers: decode_vec(
+                v,
+                "stalled_controllers",
+                path,
+                StalledWindow::from_tree,
+            )?,
+        })
+    }
+}
+
+impl FaultWindow {
+    fn to_tree(self) -> Json {
+        obj(vec![
+            ("from_s", num(self.from_s)),
+            ("until_s", num(self.until_s)),
+        ])
+    }
+
+    fn from_tree(v: &Json, path: &str) -> Result<Self, ScenarioError> {
+        Ok(FaultWindow {
+            from_s: f64_field(v, "from_s", path)?,
+            until_s: f64_field(v, "until_s", path)?,
+        })
+    }
+}
+
+impl SensorDropout {
+    fn to_tree(self) -> Json {
+        obj(vec![
+            ("vm", num(self.vm as f64)),
+            ("window", self.window.to_tree()),
+        ])
+    }
+
+    fn from_tree(v: &Json, path: &str) -> Result<Self, ScenarioError> {
+        Ok(SensorDropout {
+            vm: u64_field(v, "vm", path)?,
+            window: FaultWindow::from_tree(field(v, "window", path)?, &format!("{path}.window"))?,
+        })
+    }
+}
+
+impl StalledWindow {
+    fn to_tree(&self) -> Json {
+        obj(vec![
+            ("controller", s(&self.controller)),
+            ("window", self.window.to_tree()),
+        ])
+    }
+
+    fn from_tree(v: &Json, path: &str) -> Result<Self, ScenarioError> {
+        Ok(StalledWindow {
+            controller: str_field(v, "controller", path)?,
+            window: FaultWindow::from_tree(field(v, "window", path)?, &format!("{path}.window"))?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Paper presets
 // ---------------------------------------------------------------------
 
@@ -388,6 +613,7 @@ impl Scenario {
             power: PowerCalibration::paper(),
             reliability: ReliabilityCalibration::paper(),
             workloads: WorkloadCalibration::paper(),
+            faults: None,
         }
     }
 }
@@ -778,6 +1004,9 @@ impl Scenario {
         if self.name.is_empty() {
             return fail("scenario name must not be empty".into());
         }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
         let t = &self.thermal;
         if t.fluids.is_empty() {
             return fail("thermal.fluids must not be empty".into());
@@ -1045,14 +1274,20 @@ impl Scenario {
     }
 
     fn to_tree(&self) -> Json {
-        obj(vec![
+        let mut fields = vec![
             ("name", s(&self.name)),
             ("rng_stream", s(self.rng_stream.name())),
             ("thermal", self.thermal.to_tree()),
             ("power", self.power.to_tree()),
             ("reliability", self.reliability.to_tree()),
             ("workloads", self.workloads.to_tree()),
-        ])
+        ];
+        // Omitted when absent so fault-free scenarios keep their
+        // historical byte-exact encoding.
+        if let Some(faults) = &self.faults {
+            fields.push(("faults", faults.to_tree()));
+        }
+        obj(fields)
     }
 
     fn from_tree(v: &Json, path: &str) -> Result<Scenario, ScenarioError> {
@@ -1068,9 +1303,16 @@ impl Scenario {
             })?,
             Some(_) => return Err(schema(path, "field 'rng_stream' must be a string")),
         };
+        // Absent in every scenario file written before fault injection
+        // existed; those decode as fault-free.
+        let faults = match v.get("faults") {
+            None => None,
+            Some(tree) => Some(FaultConfig::from_tree(tree, &format!("{path}.faults"))?),
+        };
         Ok(Scenario {
             name: str_field(v, "name", path)?,
             rng_stream,
+            faults,
             thermal: ThermalCalibration::from_tree(
                 field(v, "thermal", path)?,
                 &format!("{path}.thermal"),
@@ -1496,6 +1738,19 @@ fn f64_field(v: &Json, key: &str, path: &str) -> Result<f64, ScenarioError> {
     }
 }
 
+fn u64_field(v: &Json, key: &str, path: &str) -> Result<u64, ScenarioError> {
+    let x = f64_field(v, key, path)?;
+    // 2^53: the largest range where f64-backed JSON numbers stay exact.
+    if x.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&x) {
+        Ok(x as u64)
+    } else {
+        Err(schema(
+            path,
+            format!("field '{key}' must be a non-negative integer"),
+        ))
+    }
+}
+
 fn u32_field(v: &Json, key: &str, path: &str) -> Result<u32, ScenarioError> {
     let x = f64_field(v, key, path)?;
     if x.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&x) {
@@ -1648,6 +1903,77 @@ mod tests {
     fn parse_errors_report_offsets() {
         let err = Scenario::from_json("{not json").unwrap_err();
         assert!(matches!(err, ScenarioError::Parse { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fault_config_round_trips_and_legacy_decodes_as_none() {
+        // Absent on paper(); encoded JSON omits the key entirely.
+        let paper = Scenario::paper();
+        assert!(paper.faults.is_none());
+        assert!(!paper.to_json().contains("\"faults\""));
+
+        // A populated config survives the round trip field-for-field.
+        let mut chaotic = paper.clone();
+        chaotic.faults = Some(FaultConfig {
+            seed: 9001,
+            hazard_scale: 2.5e5,
+            error_scale: 40.0,
+            repair_min_s: 30.0,
+            repair_max_s: 90.0,
+            stale_telemetry: vec![FaultWindow {
+                from_s: 100.0,
+                until_s: 160.0,
+            }],
+            sensor_dropouts: vec![SensorDropout {
+                vm: 3,
+                window: FaultWindow {
+                    from_s: 10.0,
+                    until_s: 20.0,
+                },
+            }],
+            stalled_controllers: vec![StalledWindow {
+                controller: "governor".to_string(),
+                window: FaultWindow {
+                    from_s: 200.0,
+                    until_s: 260.0,
+                },
+            }],
+        });
+        chaotic.validate().expect("fault config is valid");
+        let back = Scenario::from_json(&chaotic.to_json()).expect("round trip");
+        assert_eq!(back, chaotic);
+
+        // Pre-fault scenario JSON (no key) decodes as None.
+        let back = Scenario::from_json(&paper.to_json()).expect("legacy decode");
+        assert!(back.faults.is_none());
+    }
+
+    #[test]
+    fn fault_config_validation_rejects_bad_shapes() {
+        let mut p = Scenario::paper();
+        let mut faults = FaultConfig::disabled();
+        faults.hazard_scale = -1.0;
+        p.faults = Some(faults.clone());
+        assert!(p.validate().is_err(), "negative hazard scale");
+
+        faults.hazard_scale = 0.0;
+        faults.repair_min_s = 100.0;
+        faults.repair_max_s = 50.0;
+        p.faults = Some(faults.clone());
+        assert!(p.validate().is_err(), "inverted repair bounds");
+
+        faults.repair_min_s = 10.0;
+        faults.repair_max_s = 50.0;
+        faults.stale_telemetry = vec![FaultWindow {
+            from_s: 9.0,
+            until_s: 3.0,
+        }];
+        p.faults = Some(faults.clone());
+        assert!(p.validate().is_err(), "inverted window");
+
+        faults.stale_telemetry.clear();
+        p.faults = Some(faults);
+        p.validate().expect("disabled-shape config is valid");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use immersion_cloud::autoscale::policy::{AscConfig, Policy};
 use immersion_cloud::controlplane::controllers::{
     FailoverController, GovernorController, PowerCapController, ScriptController,
 };
-use immersion_cloud::controlplane::{Action, ControlPlane, FleetConfig, FleetWorld, World};
+use immersion_cloud::controlplane::{Action, ControlPlane, FleetConfigBuilder, FleetWorld, World};
 use immersion_cloud::core::governor::{GovernorConfig, OverclockGovernor};
 use immersion_cloud::power::capping::PowerAllocator;
 use immersion_cloud::power::cpu::CpuSku;
@@ -33,7 +33,7 @@ fn main() {
     // A small oversubscribed fleet: 4 immersed servers, a 500 W power
     // budget split across a critical and a batch domain, and a QPS
     // schedule that ramps 500 -> 1500 over ten minutes.
-    let config = FleetConfig::small(42);
+    let config = FleetConfigBuilder::small(42).build();
     let budget_w = config.budget_w;
     let last_s = config.schedule.last().map(|&(t, _)| t).unwrap_or(0.0);
     let end_s = last_s + 300.0;
@@ -80,16 +80,19 @@ fn main() {
     // controller watches for it and boosts the survivors (the virtual
     // buffer of Section V).
     plane.register(
-        Box::new(ScriptController::new(vec![
-            (
-                SimTime::from_secs_f64(fail_at_s),
-                Action::FailServer { server: 0 },
-            ),
-            (
-                SimTime::from_secs_f64(repair_at_s),
-                Action::RepairServer { server: 0 },
-            ),
-        ])),
+        Box::new(
+            ScriptController::new(vec![
+                (
+                    SimTime::from_secs_f64(fail_at_s),
+                    Action::FailServer { server: 0 },
+                ),
+                (
+                    SimTime::from_secs_f64(repair_at_s),
+                    Action::RepairServer { server: 0 },
+                ),
+            ])
+            .expect("script events are time-sorted"),
+        ),
         SimDuration::from_secs(15),
     );
     let fo_id = plane.register(

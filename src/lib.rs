@@ -18,6 +18,7 @@
 //! | [`core`] | `ic-core` | Operating domains, bottleneck analysis, overclock governor, use-cases |
 //! | [`autoscale`] | `ic-autoscale` | The overclocking-enhanced auto-scaler (Table XI) |
 //! | [`controlplane`] | `ic-controlplane` | Controller trait, telemetry bus, single-clock control-plane runtime |
+//! | [`chaos`] | `ic-chaos` | Wear-coupled fault injection, graceful degradation, SLO scorecard |
 //! | [`tco`] | `ic-tco` | Table VI TCO model |
 //! | [`obs`] | `ic-obs` | Structured tracing, metrics registry, engine observer |
 //!
@@ -36,6 +37,7 @@
 //! ```
 
 pub use ic_autoscale as autoscale;
+pub use ic_chaos as chaos;
 pub use ic_cluster as cluster;
 pub use ic_controlplane as controlplane;
 pub use ic_core as core;

@@ -5,6 +5,9 @@
 
 use immersion_cloud::autoscale::asc::AutoScaler;
 use immersion_cloud::autoscale::policy::{AscConfig, Policy};
+use immersion_cloud::chaos::{
+    DegradationController, DegradationPolicy, LatencySlo, SloInputs, SloScorecard,
+};
 use immersion_cloud::cluster::cluster::Cluster;
 use immersion_cloud::cluster::placement::{Oversubscription, PlacementPolicy};
 use immersion_cloud::cluster::server::ServerSpec;
@@ -12,7 +15,7 @@ use immersion_cloud::cluster::vm::{VmClass, VmSpec};
 use immersion_cloud::controlplane::controllers::{
     FailoverController, GovernorController, PowerCapController, ScriptController,
 };
-use immersion_cloud::controlplane::{Action, ControlPlane, FleetConfig, FleetWorld, World};
+use immersion_cloud::controlplane::{Action, ControlPlane, FleetConfigBuilder, FleetWorld, World};
 use immersion_cloud::core::bottleneck::{analyze, BottleneckThresholds, OverclockTarget};
 use immersion_cloud::core::governor::{Constraint, GovernorConfig, OverclockGovernor};
 use immersion_cloud::core::usecases::buffer::absorb_failure;
@@ -23,6 +26,7 @@ use immersion_cloud::power::units::Frequency;
 use immersion_cloud::reliability::lifetime::{CompositeLifetimeModel, OperatingConditions};
 use immersion_cloud::reliability::stability::StabilityModel;
 use immersion_cloud::reliability::wear::WearTracker;
+use immersion_cloud::scenario::FaultConfig;
 use immersion_cloud::sim::time::{SimDuration, SimTime};
 use immersion_cloud::telemetry::counters::CoreCounters;
 use immersion_cloud::thermal::fluid::DielectricFluid;
@@ -42,7 +46,7 @@ fn governor() -> OverclockGovernor {
 /// digests every externally observable outcome into one string, so
 /// equality means record-for-record identity.
 fn composed_digest(seed: u64) -> String {
-    let config = FleetConfig::small(seed);
+    let config = FleetConfigBuilder::small(seed).build();
     let budget_w = config.budget_w;
     let world = FleetWorld::new(config);
     let mut plane = ControlPlane::new(world);
@@ -63,10 +67,13 @@ fn composed_digest(seed: u64) -> String {
         SimDuration::from_secs(30),
     );
     plane.register(
-        Box::new(ScriptController::new(vec![
-            (SimTime::from_secs(200), Action::FailServer { server: 0 }),
-            (SimTime::from_secs(400), Action::RepairServer { server: 0 }),
-        ])),
+        Box::new(
+            ScriptController::new(vec![
+                (SimTime::from_secs(200), Action::FailServer { server: 0 }),
+                (SimTime::from_secs(400), Action::RepairServer { server: 0 }),
+            ])
+            .expect("script events are time-sorted"),
+        ),
         SimDuration::from_secs(15),
     );
     let fo_id = plane.register(
@@ -138,6 +145,136 @@ fn composed_records_identical_across_worker_counts() {
             );
         }
     }
+}
+
+/// End-to-end graceful degradation: a mid-run correctable-error burst
+/// trips the [`DegradationController`] drain, the failover controller
+/// re-places the evicted VM, the server returns after the cooldown —
+/// and every layer of SLO accounting reconciles exactly with the one
+/// commanded drain window, with no drift between the world's books and
+/// the scorecard.
+fn drain_recover_scorecard(seed: u64) -> (SloScorecard, f64, usize, usize) {
+    // Pack the fleet to capacity (4 servers x 14 VMs at 1.2x oversub):
+    // the drained server's VMs cannot be re-placed on the survivors, so
+    // they park and ride out the outage in the failover queue.
+    let mut config = FleetConfigBuilder::small(seed).initial_vms(56).build();
+    // Fault bookkeeping on, but no scheduled faults: the only injection
+    // is the scripted burst below.
+    config.faults = Some(FaultConfig::disabled());
+    let servers = config.servers;
+    let world = FleetWorld::new(config);
+    let mut plane = ControlPlane::new(world);
+
+    // The seed VM lands on server 0; a 10-error burst there crosses the
+    // drain threshold on the next degradation tick.
+    plane.register(
+        Box::new(
+            ScriptController::new(vec![(
+                SimTime::from_secs(200),
+                Action::InjectErrorBurst {
+                    server: 0,
+                    count: 10,
+                },
+            )])
+            .expect("script events are time-sorted"),
+        ),
+        SimDuration::from_secs(15),
+    );
+    let deg_id = plane.register(
+        Box::new(DegradationController::new(DegradationPolicy {
+            // Isolate the drain path: the fleet-wide de-OC cannot fire.
+            fleet_errors_per_tick: u64::MAX,
+            server_burst_errors: 5,
+            deoc_ratio: 1.0,
+            drain_cooldown_s: 90.0,
+        })),
+        SimDuration::from_secs(15),
+    );
+    plane.register(
+        Box::new(FailoverController::new(1.2)),
+        SimDuration::from_secs(15),
+    );
+
+    let end = SimTime::from_secs(600);
+    plane.run_until(end);
+
+    let drains = plane
+        .controller::<DegradationController>(deg_id)
+        .map(|d| d.drains())
+        .unwrap_or(0);
+    assert_eq!(drains, 1, "exactly one proactive drain");
+
+    let mut world = plane.into_world();
+    let completions = world.sim_mut().take_completions();
+    let completions_s: Vec<(f64, f64)> = completions
+        .iter()
+        .map(|&(t, lat)| (t.as_secs_f64(), lat))
+        .collect();
+    let snap = world.telemetry(end);
+    let faults = snap.faults.clone().expect("fault telemetry is on");
+    assert_eq!(faults.error_bursts, 1);
+    assert_eq!(faults.errors_by_server[0], 10);
+    let cluster = snap.cluster.clone().expect("fleet models placement");
+
+    let inputs = SloInputs {
+        completions: &completions_s,
+        horizon_s: 600.0,
+        availability: world.availability(end),
+        failures: world.failures_applied(),
+        recovered_vms: world.recovered_vms(),
+        error_bursts: faults.error_bursts,
+        errors_total: faults.errors_by_server.iter().sum(),
+    };
+    let scorecard = SloScorecard::compute(
+        &inputs,
+        &LatencySlo {
+            p95_s: 0.015,
+            p99_s: 0.040,
+        },
+    );
+
+    // The books reconcile: the drain opened at the degradation tick
+    // after the burst (t = 210 s) and closed when the cooldown expired
+    // (t = 300 s) — exactly 90 server-seconds of downtime, nothing
+    // more, and availability is that same window over the fleet's
+    // server-time.
+    let downtime_s = world.downtime_s(end);
+    assert!(
+        (downtime_s - 90.0).abs() < 1e-9,
+        "drain window drifted: {downtime_s} s"
+    );
+    let expected_avail = 1.0 - 90.0 / (servers as f64 * 600.0);
+    assert!(
+        (scorecard.availability - expected_avail).abs() < 1e-12,
+        "availability {} vs expected {expected_avail}",
+        scorecard.availability
+    );
+    assert_eq!(scorecard.failures, 1, "the drain is the only failure");
+    assert!(
+        scorecard.recovered_vms >= 1,
+        "no evicted VM rode the failover queue back"
+    );
+    assert_eq!(scorecard.completed, completions.len() as u64);
+    (
+        scorecard,
+        downtime_s,
+        cluster.failed_servers.len(),
+        world.parked().len(),
+    )
+}
+
+#[test]
+fn drained_server_recovers_without_slo_drift() {
+    let (scorecard, _, failed_end, parked_end) = drain_recover_scorecard(42);
+    // Fully healed at the horizon: no failed servers, no stranded VMs.
+    assert_eq!(failed_end, 0);
+    assert_eq!(parked_end, 0);
+    assert!(scorecard.completed > 0);
+    // The whole pipeline is a pure function of the seed — the scorecard
+    // does not drift across reruns.
+    let (again, downtime_again, _, _) = drain_recover_scorecard(42);
+    assert_eq!(scorecard, again);
+    assert!((downtime_again - 90.0).abs() < 1e-9);
 }
 
 #[test]
